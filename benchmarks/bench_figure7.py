@@ -1,0 +1,25 @@
+"""Figure 7 + Section 9.2: normalised execution time of every configuration.
+
+Regenerates both panels of Figure 7 (Futuristic and Spectre attack models)
+over the full benchmark suite, plus the Section 9.2 headline numbers with
+the paper's values alongside.  Expect the *shape* to match the paper (who
+wins, by roughly what factor); absolute numbers come from a different
+substrate (see DESIGN.md).
+"""
+
+from conftest import budget, emit, scale
+
+from repro.experiments import figure7
+
+
+def test_figure7_full_sweep(once):
+    data = once(figure7.collect, budget=budget(), scale=scale())
+    emit("figure7", figure7.render(data) + "\n\n"
+         + figure7.render_headline(figure7.headline(data)))
+    # Shape assertions (Section 9.2): SPT beats SecureBaseline on average in
+    # both models, and the constant-time kernels are near-free under SPT.
+    numbers = figure7.headline(data)
+    assert numbers["overhead_reduction_futuristic"] > 1.5
+    assert numbers["overhead_reduction_spectre"] > 1.0
+    assert numbers["ct_spt_slowdown_futuristic"] < \
+        numbers["ct_secure_slowdown_futuristic"]

@@ -1,0 +1,17 @@
+"""Figure 8: breakdown of untaint-event types per benchmark."""
+
+from conftest import budget, emit, scale
+
+from repro.experiments import figure8
+
+
+def test_figure8_breakdown(once):
+    data = once(figure8.collect, budget=budget(), scale=scale())
+    emit("figure8", figure8.render(data))
+    # At least one benchmark must exercise each of the main mechanisms.
+    all_kinds = set()
+    for counts in data.counts.values():
+        all_kinds.update(k for k, v in counts.items() if v)
+    assert "vp-transmitter" in all_kinds
+    assert "forward" in all_kinds
+    assert "shadow-l1" in all_kinds

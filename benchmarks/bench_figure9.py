@@ -1,0 +1,14 @@
+"""Figure 9: registers untainted per untainting cycle (ideal propagation)."""
+
+from conftest import budget, emit, scale
+
+from repro.experiments import figure9
+
+
+def test_figure9_cdf(once):
+    data = once(figure9.collect, budget=budget(), scale=scale())
+    emit("figure9", figure9.render(data))
+    average = data.average_cdf()
+    # Paper: ~81% of untainting cycles untaint at most 3 registers; assert
+    # the qualitative claim that width 3 covers the majority of cycles.
+    assert average[2] >= 0.5

@@ -1,0 +1,11 @@
+"""Table 1: simulated architecture parameters."""
+
+from conftest import emit
+
+from repro.pipeline.params import table1_text
+
+
+def test_table1(once):
+    text = once(table1_text)
+    emit("table1", "Table 1: Simulated architecture parameters\n" + text)
+    assert "192 ROB" in text

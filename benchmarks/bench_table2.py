@@ -1,0 +1,11 @@
+"""Table 2: evaluated design variants."""
+
+from conftest import emit
+
+from repro.harness.configs import table2_text
+
+
+def test_table2(once):
+    text = once(table2_text)
+    emit("table2", text)
+    assert "SPT{Bwd,ShadowL1}" in text

@@ -1,0 +1,11 @@
+"""Table 3: prior hardware-based mitigations."""
+
+from conftest import emit
+
+from repro.experiments import table3
+
+
+def test_table3(once):
+    text = once(table3.render)
+    emit("table3", text)
+    assert "SPT (this work)" in text

@@ -1,0 +1,17 @@
+"""Section 9.4 ablation: execution time vs. untaint broadcast width."""
+
+from conftest import budget, emit, scale
+
+from repro.experiments import figure9
+
+
+def test_width_sweep(once):
+    sweep = once(figure9.width_sweep, widths=(1, 2, 3, 4, 8),
+                 budget=budget(), scale=scale())
+    emit("width_sweep", figure9.render_width_sweep(sweep))
+    cycles = sweep["cycles"]
+    for workload in sweep["workloads"]:
+        # Wider broadcast never hurts; width 3 is within 2% of width 8
+        # (the paper's justification for choosing 3).
+        assert cycles[(3, workload)] <= cycles[(1, workload)] + 5
+        assert cycles[(3, workload)] <= 1.05 * cycles[(8, workload)] + 5

@@ -1,0 +1,67 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one bench module.  Simulation sizes default to
+small-but-meaningful budgets so the full harness completes in minutes; set
+``REPRO_BENCH_BUDGET`` (retired instructions per run, default below) and
+``REPRO_BENCH_SCALE`` (workload scale factor) to run closer to paper scale.
+"""
+
+import os
+import time
+
+import pytest
+
+DEFAULT_BUDGET = 800
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+_SESSION_START = None
+
+
+def budget() -> int:
+    return int(os.environ.get("REPRO_BENCH_BUDGET", DEFAULT_BUDGET))
+
+
+def scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", 1))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return run
+
+
+def emit(name: str, text: str) -> None:
+    """Persist a rendered table/figure for the terminal summary.
+
+    Each bench writes its output to ``benchmarks/output/<name>.txt``; the
+    terminal-summary hook below re-reads and prints every file written
+    during the session (after the pytest-benchmark table), so the paper
+    tables land in ``bench_output.txt`` when the harness is piped through
+    ``tee``.  (The hook cannot share in-memory state with this function:
+    pytest imports its conftest copy under a different module name than the
+    benches' ``from conftest import emit``.)
+    """
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(_OUTPUT_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def pytest_sessionstart(session):
+    global _SESSION_START
+    _SESSION_START = time.time()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not os.path.isdir(_OUTPUT_DIR):
+        return
+    for filename in sorted(os.listdir(_OUTPUT_DIR)):
+        path = os.path.join(_OUTPUT_DIR, filename)
+        if _SESSION_START and os.path.getmtime(path) < _SESSION_START - 1:
+            continue
+        terminalreporter.section(f"paper output: {filename}")
+        with open(path) as handle:
+            terminalreporter.write(handle.read())

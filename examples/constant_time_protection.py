@@ -1,0 +1,60 @@
+"""Constant-time code under SPT: the paper's headline use case.
+
+Shows two things on the ChaCha20 kernel:
+
+1. **Performance** — SecureBaseline (delay every transmitter to the
+   visibility point) is several times slower than the insecure machine,
+   while SPT runs at almost native speed: constant-time code computes its
+   addresses from public values, so SPT's taint tracking never has to delay
+   anything.
+
+2. **Security** — the full attacker-visible trace (every cache access with
+   its cycle, every predictor update) is bit-identical across two different
+   keys, i.e. the key cannot leak — speculatively or otherwise.
+
+Run with::
+
+    python examples/constant_time_protection.py
+"""
+
+from repro.core.attack_model import AttackModel
+from repro.harness.configs import make_engine
+from repro.pipeline import OoOCore
+from repro.security.observer import traces_equal
+from repro.workloads.crypto import chacha20
+
+CONFIGS = ["UnsafeBaseline", "SecureBaseline", "SPT{Bwd,ShadowL1}", "STT"]
+
+
+def run(config: str, model: AttackModel, key):
+    program = chacha20.build(scale=1, key_words=key)
+    core = OoOCore(program, engine=make_engine(config, model))
+    return core.run()
+
+
+def main() -> None:
+    model = AttackModel.FUTURISTIC
+    key_a = [0x11111111] * 8
+    key_b = [0xCAFEBABE] * 8
+
+    print("ChaCha20 keystream kernel, Futuristic attack model\n")
+    print(f"{'configuration':<22}{'cycles':>9}{'slowdown':>10}"
+          f"{'key-independent trace?':>25}")
+    baseline_cycles = None
+    for config in CONFIGS:
+        sim_a = run(config, model, key_a)
+        sim_b = run(config, model, key_b)
+        if baseline_cycles is None:
+            baseline_cycles = sim_a.cycles
+        equal = traces_equal(sim_a.observer, sim_b.observer)
+        print(f"{config:<22}{sim_a.cycles:>9}"
+              f"{sim_a.cycles / baseline_cycles:>9.2f}x"
+              f"{'yes' if equal else 'NO':>25}")
+
+    print("\nSPT keeps the kernel at near-native speed while guaranteeing"
+          "\nthat the speculative execution leaks nothing the constant-time"
+          "\ndiscipline did not already leak (Definition 1 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

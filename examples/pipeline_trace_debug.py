@@ -1,0 +1,47 @@
+"""Visualising protection delays with the pipeline tracer.
+
+Traces a dependent-load snippet under UnsafeBaseline and under full SPT and
+prints the pipeline diagrams side by side: the D->I gap on the second load
+is SPT's delayed-execution protection policy waiting for declassification.
+
+Run with::
+
+    python examples/pipeline_trace_debug.py
+"""
+
+from repro.core.attack_model import AttackModel
+from repro.core.spt import SPTEngine
+from repro.isa import assemble
+from repro.pipeline import trace_program
+
+SOURCE = """
+    ld a0, 0x4000(zero)    # pointer from cold memory: tainted under SPT
+    add a1, a0, a0
+    ld a2, 0(a0)           # transmitter with a tainted address
+    add a3, a2, a1
+    sd a3, 0x100(zero)
+    halt
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="trace-demo")
+
+    print("=== UnsafeBaseline ===")
+    unsafe = trace_program(program)
+    print(unsafe.render(count=12, width=72))
+
+    print("\n=== SPT {Bwd, ShadowL1}, Futuristic model ===")
+    spt = trace_program(program, engine=SPTEngine(AttackModel.FUTURISTIC))
+    print(spt.render(count=12, width=72))
+
+    delayed = spt.delayed_transmitters(threshold=3)
+    print(f"\ninstructions delayed >3 cycles between dispatch and issue: "
+          f"{len(delayed)}")
+    for entry in delayed:
+        print(f"  seq {entry.seq}: {entry.text} "
+              f"(D->I gap {entry.issue_delay} cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+#!/usr/bin/env python3
+"""Artifact-compatible helper script (paper Appendix A.4).
+
+Thin wrapper over :mod:`repro.cli`; accepts the same parameters as the
+paper's gem5 helper, e.g.::
+
+    python run_spt.py mcf --enable-spt --threat-model futuristic \
+        --untaint-method bwd --enable-shadow-l1
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""repro: a pure-Python reproduction of Speculative Privacy Tracking (SPT).
+
+Public API tour:
+
+* :mod:`repro.isa` — the ISA, assembler, program builder, and a golden
+  functional interpreter.
+* :mod:`repro.pipeline` — the out-of-order core with real transient execution.
+* :mod:`repro.core` — the paper's contribution: the untaint algebra, attack
+  models, and the STT / SPT / baseline protection engines.
+* :mod:`repro.memory` — main memory and the L1/L2/L3/DRAM hierarchy.
+* :mod:`repro.security` — the attacker observation model and attack gadgets.
+* :mod:`repro.workloads` — SPEC-like kernels and constant-time crypto kernels.
+* :mod:`repro.harness` — Table 2 configurations and the experiment runner.
+* :mod:`repro.experiments` — regeneration of every paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import AttackModel, SPTEngine, STTEngine
+from repro.harness import CONFIGURATIONS, make_engine, run_one
+from repro.isa import ProgramBuilder, assemble, run_program
+from repro.pipeline import MachineParams, OoOCore
+
+__all__ = [
+    "AttackModel", "SPTEngine", "STTEngine", "CONFIGURATIONS", "make_engine",
+    "run_one", "ProgramBuilder", "assemble", "run_program", "MachineParams",
+    "OoOCore", "__version__",
+]

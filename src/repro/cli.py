@@ -1,0 +1,186 @@
+"""Artifact-compatible command-line interface.
+
+The paper's artifact drives gem5 through a helper script ``run_spt.py``
+(Appendix A.4).  This CLI accepts the same parameters against this
+reproduction's simulator and emits a gem5-style ``stats.txt``:
+
+========================  =======================================
+Artifact parameter        Here
+========================  =======================================
+``executable``            a registered workload name, or a path to
+                          an ``.asm`` file in this ISA
+``--enable-spt``          enable SPT's protection mechanism
+``--threat-model``        ``spectre`` or ``futuristic``
+``--untaint-method``      ``none`` (SecureBaseline), ``fwd``,
+                          ``bwd`` or ``ideal``
+``--enable-shadow-l1``    L1D taint tracking
+``--enable-shadow-mem``   all-memory taint tracking
+``--track-insts``         print the untaint-event breakdown
+``--output-dir``          where ``stats.txt`` is written
+========================  =======================================
+
+Examples::
+
+    python -m repro.cli mcf --enable-spt --threat-model futuristic \\
+        --untaint-method bwd --enable-shadow-l1
+    python -m repro.cli chacha20 --stt --threat-model spectre
+    python -m repro.cli program.asm          # InsecureBaseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.core.baselines import SecureBaseline, UnsafeBaseline
+from repro.core.shadow_l1 import ShadowMode
+from repro.core.spt import SPTEngine
+from repro.core.stt import STTEngine
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Program
+from repro.pipeline.core import OoOCore
+from repro.pipeline.engine_api import ProtectionEngine
+from repro.pipeline.params import MachineParams
+from repro.workloads.registry import WORKLOADS, get as get_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="run_spt",
+        description="Run a program on the SPT reproduction simulator "
+                    "(parameters mirror the paper's artifact).")
+    parser.add_argument("executable",
+                        help="registered workload name or path to a .asm file")
+    parser.add_argument("--enable-spt", action="store_true",
+                        help="enable SPT's protection mechanism")
+    parser.add_argument("--stt", action="store_true",
+                        help="run the STT baseline instead of SPT")
+    parser.add_argument("--threat-model", choices=["spectre", "futuristic"],
+                        help="required with --enable-spt or --stt")
+    parser.add_argument("--untaint-method",
+                        choices=["none", "fwd", "bwd", "ideal"],
+                        help="required with --enable-spt")
+    parser.add_argument("--enable-shadow-l1", action="store_true")
+    parser.add_argument("--enable-shadow-mem", action="store_true")
+    parser.add_argument("--track-insts", action="store_true",
+                        help="output detailed taint tracking information")
+    parser.add_argument("--output-dir", default="m5out",
+                        help="directory for stats.txt (default: m5out)")
+    parser.add_argument("--max-instructions", type=int, default=1_000_000)
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor")
+    parser.add_argument("--untaint-broadcast-width", type=int, default=3)
+    return parser
+
+
+def validate_args(args: argparse.Namespace) -> Optional[str]:
+    """Returns an error message for invalid combinations, or None."""
+    if args.enable_shadow_l1 and args.enable_shadow_mem:
+        return "cannot specify both --enable-shadow-l1 and --enable-shadow-mem"
+    if args.enable_spt and args.stt:
+        return "cannot specify both --enable-spt and --stt"
+    if args.enable_spt and not args.threat_model:
+        return "--threat-model is required when --enable-spt is specified"
+    if args.enable_spt and not args.untaint_method:
+        return "--untaint-method is required when --enable-spt is specified"
+    if args.stt and not args.threat_model:
+        return "--threat-model is required when --stt is specified"
+    if args.track_insts and not args.enable_spt:
+        return "--track-insts can only be specified with --enable-spt"
+    if not args.enable_spt and (args.enable_shadow_l1
+                                or args.enable_shadow_mem
+                                or args.untaint_method):
+        return "shadow/untaint options require --enable-spt"
+    return None
+
+
+def make_engine_from_args(args: argparse.Namespace) -> ProtectionEngine:
+    if not args.enable_spt and not args.stt:
+        return UnsafeBaseline()
+    model = AttackModel(args.threat_model)
+    if args.stt:
+        return STTEngine(model)
+    if args.untaint_method == "none":
+        return SecureBaseline(model)
+    if args.enable_shadow_mem:
+        shadow = ShadowMode.FULL_MEMORY
+    elif args.enable_shadow_l1:
+        shadow = ShadowMode.L1
+    else:
+        shadow = ShadowMode.NONE
+    return SPTEngine(model,
+                     backward=args.untaint_method in ("bwd", "ideal"),
+                     shadow=shadow,
+                     ideal=args.untaint_method == "ideal")
+
+
+def load_program(executable: str, scale: int) -> Program:
+    if executable in WORKLOADS:
+        return get_workload(executable).program(scale)
+    if os.path.exists(executable):
+        with open(executable) as handle:
+            return assemble(handle.read(),
+                            name=os.path.basename(executable))
+    raise SystemExit(
+        f"error: {executable!r} is neither a registered workload "
+        f"({', '.join(sorted(WORKLOADS))}) nor an existing .asm file")
+
+
+def format_stats(sim, engine: ProtectionEngine) -> str:
+    """gem5-style stats.txt body."""
+    lines = [
+        "---------- Begin Simulation Statistics ----------",
+        f"numCycles {sim.cycles:>40} # total cycles simulated",
+        f"committedInsts {sim.retired:>36} # instructions retired",
+        f"ipc {format(sim.ipc, '.6f'):>47} # committed IPC",
+        f"configName {sim.config_name:>40} # protection configuration",
+    ]
+    for key in sorted(sim.stats):
+        lines.append(f"{key} {sim.stats[key]:>{max(1, 50 - len(key))}} #")
+    if isinstance(engine, SPTEngine):
+        for kind, count in sorted(engine.untaint.as_dict().items()):
+            name = f"untaint::{kind}"
+            lines.append(f"{name} {count:>{max(1, 50 - len(name))}} #")
+        lines.append(f"untaint::total {engine.untaint.total:>36} #")
+    lines.append("---------- End Simulation Statistics   ----------")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    error = validate_args(args)
+    if error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    program = load_program(args.executable, args.scale)
+    engine = make_engine_from_args(args)
+    params = MachineParams(
+        untaint_broadcast_width=args.untaint_broadcast_width)
+    sim = OoOCore(program, engine=engine, params=params).run(
+        max_instructions=args.max_instructions)
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    stats_path = os.path.join(args.output_dir, "stats.txt")
+    with open(stats_path, "w") as handle:
+        handle.write(format_stats(sim, engine))
+
+    print(f"{program.name}: {sim.retired} instructions, {sim.cycles} cycles "
+          f"(IPC {sim.ipc:.2f}) under {engine.name}")
+    print(f"stats written to {stats_path}")
+    if args.track_insts and isinstance(engine, SPTEngine):
+        print("untaint events:")
+        for kind, count in sorted(engine.untaint.as_dict().items()):
+            print(f"  {kind:<16} {count}")
+        histogram = engine.untaint.untaints_per_cycle
+        if histogram:
+            print("registers untainted per untainting cycle:")
+            for width in sorted(histogram):
+                print(f"  {width:>3}: {histogram[width]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

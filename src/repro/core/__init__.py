@@ -1,0 +1,21 @@
+"""The paper's contribution: untaint algebra, attack models, and engines."""
+
+from repro.core.attack_model import AttackModel, vp_obstacle
+from repro.core.baselines import SecureBaseline, UnsafeBaseline
+from repro.core.events import UntaintKind, UntaintStats
+from repro.core.gates import Circuit, CircuitError, Gate, Wire, gate_value
+from repro.core.shadow_l1 import ShadowMode, ShadowTaint
+from repro.core.inferability import consistent_assignments, soundness_violation
+from repro.core.spt import SPTEngine
+from repro.core.taint_algebra import (backward_untaints,
+                                      forward_untaints_output,
+                                      initial_output_taint, leaked_operands)
+from repro.core.stt import STTEngine
+
+__all__ = [
+    "AttackModel", "vp_obstacle", "SecureBaseline", "UnsafeBaseline",
+    "UntaintKind", "UntaintStats", "Circuit", "CircuitError", "Gate", "Wire",
+    "gate_value", "ShadowMode", "ShadowTaint", "SPTEngine", "STTEngine",
+    "consistent_assignments", "soundness_violation", "backward_untaints",
+    "forward_untaints_output", "initial_output_taint", "leaked_operands",
+]

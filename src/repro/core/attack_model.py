@@ -1,0 +1,41 @@
+"""Attack models and their visibility-point predicates (paper Section 2.2.1).
+
+* **Spectre** — covers control-flow speculation: an instruction reaches the
+  visibility point (VP) once all older control-flow instructions have had
+  their resolution applied.
+* **Futuristic** — covers all forms of speculation: an instruction reaches
+  the VP once it can no longer be squashed, i.e. every older instruction has
+  fully completed (loads returned data, stores computed address and data,
+  control resolved).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.pipeline.dyninst import DynInst
+
+
+class AttackModel(enum.Enum):
+    SPECTRE = "spectre"
+    FUTURISTIC = "futuristic"
+
+
+def _spectre_obstacle(di: DynInst) -> bool:
+    return di.is_predicted_control and not di.resolution_applied
+
+
+def _futuristic_obstacle(di: DynInst) -> bool:
+    if di.is_load:
+        return not di.mem_complete
+    if di.is_predicted_control:
+        return not (di.complete and di.resolution_applied)
+    return not di.complete
+
+
+def vp_obstacle(model: AttackModel) -> Callable[[DynInst], bool]:
+    """The predicate blocking the VP frontier under ``model``."""
+    if model == AttackModel.SPECTRE:
+        return _spectre_obstacle
+    return _futuristic_obstacle

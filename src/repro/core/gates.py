@@ -1,0 +1,220 @@
+"""Gate-level untaint algebra (paper Section 5).
+
+A small boolean-circuit model with per-wire (value, taint) tuples that
+implements:
+
+* **forward information flow** (Section 5.1) — GLIFT-precise taint
+  propagation through AND/OR/XOR/NOT, re-applied dynamically after
+  declassifications;
+* **backward information flow** (Section 5.2) — the paper's novel untaint
+  operation: when an output becomes untainted, gate semantics plus other
+  untainted wires can imply input values, untainting them too;
+* **composition** (Section 5.3) — fixpoint propagation across arbitrary
+  DAGs of gates, reproducing the worked example of Figure 3.
+
+This module is deliberately independent of the pipeline: it is the algebra
+in its purest form, and the property tests brute-force verify its soundness
+(an untainted wire's value must be uniquely determined by the declassified
+wires and circuit structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+GATE_TYPES = ("AND", "OR", "XOR", "NOT", "WIRE")
+
+
+class CircuitError(Exception):
+    """Raised for malformed circuits or inconsistent assignments."""
+
+
+@dataclass
+class Wire:
+    """One boolean wire: a concrete value and a taint bit."""
+
+    name: str
+    value: int
+    tainted: bool
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise CircuitError(f"wire {self.name}: value must be 0/1")
+
+
+@dataclass
+class Gate:
+    """One gate: ``output = op(inputs)``."""
+
+    op: str
+    inputs: tuple
+    output: str
+
+    def __post_init__(self) -> None:
+        if self.op not in GATE_TYPES:
+            raise CircuitError(f"unknown gate {self.op}")
+        arity = 1 if self.op in ("NOT", "WIRE") else 2
+        if len(self.inputs) != arity:
+            raise CircuitError(f"{self.op} expects {arity} inputs")
+
+
+def gate_value(op: str, values: Iterable[int]) -> int:
+    values = list(values)
+    if op == "AND":
+        return values[0] & values[1]
+    if op == "OR":
+        return values[0] | values[1]
+    if op == "XOR":
+        return values[0] ^ values[1]
+    if op == "NOT":
+        return values[0] ^ 1
+    if op == "WIRE":
+        return values[0]
+    raise CircuitError(f"unknown gate {op}")
+
+
+class Circuit:
+    """A DAG of gates over named wires with declassification support."""
+
+    def __init__(self) -> None:
+        self.wires: dict[str, Wire] = {}
+        self.gates: list[Gate] = []
+        self._driver: dict[str, Gate] = {}
+        # Attacker knowledge bookkeeping (used by the inferability checker):
+        # wires whose values were explicitly leaked, and inputs that were
+        # public from the start.
+        self.declassified: set = set()
+        self.initially_public: set = set()
+
+    # -------------------------------------------------------------- building
+    def input(self, name: str, value: int, tainted: bool) -> str:
+        """Declare a primary input wire."""
+        if name in self.wires:
+            raise CircuitError(f"duplicate wire {name}")
+        self.wires[name] = Wire(name, value, tainted)
+        if not tainted:
+            self.initially_public.add(name)
+        return name
+
+    def gate(self, op: str, *inputs: str, name: Optional[str] = None) -> str:
+        """Add a gate; the output wire's value/taint follow the forward rules."""
+        for wire in inputs:
+            if wire not in self.wires:
+                raise CircuitError(f"unknown input wire {wire}")
+        name = name or f"w{len(self.wires)}"
+        if name in self.wires:
+            raise CircuitError(f"duplicate wire {name}")
+        gate = Gate(op, tuple(inputs), name)
+        value = gate_value(op, [self.wires[w].value for w in inputs])
+        tainted = self._forward_taint(gate)
+        self.wires[name] = Wire(name, value, tainted)
+        self.gates.append(gate)
+        self._driver[name] = gate
+        return name
+
+    # --------------------------------------------------------------- algebra
+    def _forward_taint(self, gate: Gate) -> bool:
+        """GLIFT-precise forward rule (Section 5.1)."""
+        ins = [self.wires[w] for w in gate.inputs]
+        if gate.op in ("NOT", "WIRE"):
+            return ins[0].tainted
+        a, b = ins
+        if gate.op == "XOR":
+            return a.tainted or b.tainted
+        if gate.op == "AND":
+            # An untainted 0 forces the output to a public 0.
+            if not a.tainted and a.value == 0:
+                return False
+            if not b.tainted and b.value == 0:
+                return False
+            return a.tainted or b.tainted
+        if gate.op == "OR":
+            if not a.tainted and a.value == 1:
+                return False
+            if not b.tainted and b.value == 1:
+                return False
+            return a.tainted or b.tainted
+        raise CircuitError(gate.op)
+
+    def _backward_untaint(self, gate: Gate) -> list:
+        """Backward rule (Section 5.2): returns wires to untaint."""
+        out = self.wires[gate.output]
+        if out.tainted:
+            return []
+        ins = [self.wires[w] for w in gate.inputs]
+        if gate.op in ("NOT", "WIRE"):
+            return [ins[0].name] if ins[0].tainted else []
+        a, b = ins
+        newly: list[str] = []
+        if gate.op == "XOR":
+            # Output plus one input determines the other.
+            if a.tainted and not b.tainted:
+                newly.append(a.name)
+            elif b.tainted and not a.tainted:
+                newly.append(b.name)
+        elif gate.op == "AND":
+            if out.value == 1:
+                # 1 = a & b  =>  a = b = 1.
+                newly.extend(w.name for w in (a, b) if w.tainted)
+            else:
+                # 0 = a & b with one input an untainted 1 => other is 0.
+                if not a.tainted and a.value == 1 and b.tainted:
+                    newly.append(b.name)
+                if not b.tainted and b.value == 1 and a.tainted:
+                    newly.append(a.name)
+        elif gate.op == "OR":
+            if out.value == 0:
+                newly.extend(w.name for w in (a, b) if w.tainted)
+            else:
+                if not a.tainted and a.value == 0 and b.tainted:
+                    newly.append(b.name)
+                if not b.tainted and b.value == 0 and a.tainted:
+                    newly.append(a.name)
+        return newly
+
+    def declassify(self, name: str) -> list:
+        """Declassify one wire and propagate untaint to a fixpoint.
+
+        Returns the names of every wire untainted as a consequence
+        (including ``name`` itself if it was tainted).
+        """
+        if name not in self.wires:
+            raise CircuitError(f"unknown wire {name}")
+        self.declassified.add(name)
+        newly: list[str] = []
+        wire = self.wires[name]
+        if wire.tainted:
+            wire.tainted = False
+            newly.append(name)
+        newly.extend(self.propagate())
+        return newly
+
+    def propagate(self) -> list:
+        """Run forward + backward rules to a fixpoint; returns untainted wires."""
+        newly: list[str] = []
+        changed = True
+        while changed:
+            changed = False
+            for gate in self.gates:
+                out = self.wires[gate.output]
+                if out.tainted and not self._forward_taint(gate):
+                    out.tainted = False
+                    newly.append(out.name)
+                    changed = True
+                for wire_name in self._backward_untaint(gate):
+                    self.wires[wire_name].tainted = False
+                    newly.append(wire_name)
+                    changed = True
+        return newly
+
+    # --------------------------------------------------------------- queries
+    def tainted(self, name: str) -> bool:
+        return self.wires[name].tainted
+
+    def value(self, name: str) -> int:
+        return self.wires[name].value
+
+    def primary_inputs(self) -> list:
+        driven = set(self._driver)
+        return [name for name in self.wires if name not in driven]

@@ -1,0 +1,87 @@
+"""Executable counterpart of the paper's security proof (Section 8).
+
+The proof's Lemma 2 states that every untainted value is *inferable by the
+attacker*: expressible as a function of operands of transmitters that have
+reached the visibility point.  For the gate-level algebra this is directly
+checkable by brute force: enumerate every assignment to the tainted primary
+inputs that is consistent with the circuit's untainted wires, and verify that
+each untainted wire takes the same value under all consistent assignments —
+i.e. its value is determined by public information alone.
+
+This module is used by the property-based tests to validate the untaint
+algebra of :mod:`repro.core.gates` on thousands of random circuits.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Optional
+
+from repro.core.gates import Circuit, gate_value
+
+
+def consistent_assignments(circuit: Circuit,
+                           original_values: dict) -> list:
+    """All primary-input assignments consistent with public knowledge.
+
+    Public knowledge = the circuit structure, the values of the inputs that
+    were public from the start, and the values of the *explicitly
+    declassified* wires (leaked operands).  Crucially it does NOT include
+    wires the algebra merely marked untainted — those are exactly what the
+    soundness check must validate.  ``original_values`` maps primary input
+    name to its true value (defines the search space shape).
+    """
+    inputs = circuit.primary_inputs()
+    free_inputs = [name for name in inputs
+                   if name not in circuit.initially_public
+                   and name not in circuit.declassified]
+    fixed = {name: circuit.value(name) for name in inputs
+             if name not in free_inputs}
+    assignments = []
+    for bits in product((0, 1), repeat=len(free_inputs)):
+        candidate = dict(fixed)
+        candidate.update(dict(zip(free_inputs, bits)))
+        if _consistent(circuit, candidate):
+            assignments.append(candidate)
+    return assignments
+
+
+def _consistent(circuit: Circuit, input_values: dict) -> bool:
+    """Would these input values reproduce every declassified wire's value?"""
+    values = dict(input_values)
+    for gate in circuit.gates:
+        values[gate.output] = gate_value(
+            gate.op, [values[w] for w in gate.inputs])
+    for name in circuit.declassified:
+        if values[name] != circuit.wires[name].value:
+            return False
+    return True
+
+
+def soundness_violation(circuit: Circuit) -> Optional[str]:
+    """Check Lemma 2 on a circuit; returns a description of any violation.
+
+    For every untainted wire W, every input assignment consistent with the
+    public wires must give W the same value.  If two consistent assignments
+    disagree on W, then W's untainting leaked information it should not have
+    — the algebra would be unsound.
+    """
+    inputs = circuit.primary_inputs()
+    original = {name: circuit.value(name) for name in inputs}
+    assignments = consistent_assignments(circuit, original)
+    if not assignments:
+        return "no consistent assignment (internal inconsistency)"
+    for name, wire in circuit.wires.items():
+        if wire.tainted:
+            continue
+        witnessed = set()
+        for assignment in assignments:
+            values = dict(assignment)
+            for gate in circuit.gates:
+                values[gate.output] = gate_value(
+                    gate.op, [values[w] for w in gate.inputs])
+            witnessed.add(values[name])
+        if len(witnessed) > 1:
+            return (f"wire {name} is untainted but not determined by public "
+                    f"knowledge (possible values: {sorted(witnessed)})")
+    return None

@@ -1,0 +1,321 @@
+"""Speculative Privacy Tracking (SPT) — the paper's contribution (Sections 6-7).
+
+SPT taints *everything* (all architectural registers and all memory start
+tainted) and only untaints data it can prove the attacker can infer from the
+non-speculative execution:
+
+* **Declassification** (6.6): a transmitter or branch reaching the visibility
+  point non-speculatively leaks its operands; they are untainted.
+* **Forward/backward untaint rules** (6.6): applied locally to every window
+  entry each cycle; newly untainted registers are broadcast with a limited
+  *untaint broadcast width* (7.3), destinations before sources and older
+  entries before younger ones, using per-bit broadcast-pending flags.
+* **PC-inferable outputs** (6.5): load-immediate results and link registers
+  are untainted at rename (the ROB contents are public by Property 1).
+* **Store-to-load forwarding** (6.7): untaint propagates across a forwarding
+  pair only once the implicit branch is public (``STLPublic``), in both
+  directions.
+* **Shadow L1 / shadow memory** (6.8, 7.5): byte-granular taint for cached
+  data; untainted store data and VP'd loads clear it, loads of untainted
+  bytes produce untainted outputs.
+
+Transmitters with tainted address operands and branches with tainted
+predicates are delayed (the delayed-execution protection policy) until
+untainted or at the VP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack_model import AttackModel, vp_obstacle
+from repro.core.events import UntaintKind, UntaintStats
+from repro.core.shadow_l1 import ShadowMode, ShadowTaint
+from repro.core.taint_algebra import (PURE_KINDS, backward_untaints,
+                                      forward_untaints_output,
+                                      initial_output_taint, leaked_operands)
+from repro.isa.opcodes import Kind
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.engine_api import ProtectionEngine
+
+
+class SPTEngine(ProtectionEngine):
+    """The full SPT protection engine with configurable mechanisms."""
+
+    protects_speculative_data = True
+    protects_nonspeculative_secrets = True
+
+    def __init__(self, model: AttackModel, backward: bool = True,
+                 shadow: ShadowMode = ShadowMode.L1, ideal: bool = False):
+        super().__init__()
+        self.model = model
+        self.backward = backward or ideal
+        self.shadow_mode = shadow
+        self.ideal = ideal
+        self._obstacle = vp_obstacle(model)
+        self.name = self._config_name()
+        self.untaint = UntaintStats()
+        self.taint: list[bool] = []
+        self.shadow: Optional[ShadowTaint] = None
+        self.width = 3
+        # FIFO of (preg, cause) untaint requests awaiting broadcast.
+        self._pending: list[tuple[int, UntaintKind]] = []
+        self._pending_set: set[int] = set()
+
+    def _config_name(self) -> str:
+        if self.ideal:
+            prop = "Ideal"
+        elif self.backward:
+            prop = "Bwd"
+        else:
+            prop = "Fwd"
+        shadow = {ShadowMode.NONE: "NoShadowL1", ShadowMode.L1: "ShadowL1",
+                  ShadowMode.FULL_MEMORY: "ShadowMem"}[self.shadow_mode]
+        return f"SPT{{{prop},{shadow}}}"
+
+    def attach(self, core) -> None:
+        super().attach(core)
+        count = core.params.num_phys_regs
+        # All architectural registers start tainted (Section 6.3) except the
+        # hardwired zero register, whose value is public by definition.
+        self.taint = [True] * count
+        self.taint[0] = False
+        self.shadow = ShadowTaint(self.shadow_mode,
+                                  core.params.hierarchy.l1_params.line_bytes)
+        self.width = core.params.untaint_broadcast_width
+
+    # ------------------------------------------------------------- tainting
+    def on_rename(self, di: DynInst) -> None:
+        di.t_src1 = di.prs1 >= 0 and self.taint[di.prs1]
+        di.t_src2 = di.prs2 >= 0 and self.taint[di.prs2]
+        tainted = initial_output_taint(di.inst, di.t_src1, di.t_src2)
+        # t_dst is kept even for discarded destinations (rd = x0): the
+        # backward rules must not treat a never-observable result as public.
+        di.t_dst = tainted
+        if di.prd >= 0:
+            self.taint[di.prd] = tainted
+
+    # --------------------------------------------------------------- gating
+    def may_compute_address(self, di: DynInst) -> bool:
+        return not di.t_src1
+
+    def may_resolve(self, di: DynInst) -> bool:
+        if di.t_src1:
+            return False
+        return not (di.inst.info.reads_rs2 and di.t_src2)
+
+    def skip_cache_for_forwarding(self, load: DynInst, store: DynInst) -> bool:
+        # Only when the forwarding decision is already public (STLPublic).
+        if not load.stl_public and self._stl_public(load, store):
+            load.stl_public = True
+        return load.stl_public
+
+    # ------------------------------------------------------ untaint requests
+    def _request(self, di: Optional[DynInst], slot: str, preg: int,
+                 cause: UntaintKind) -> None:
+        """Locally untaint an entry bit and queue the register for broadcast."""
+        if di is not None:
+            if slot == "src1":
+                if not di.t_src1:
+                    return
+                di.t_src1 = False
+                di.pend_src1 = True
+            elif slot == "src2":
+                if not di.t_src2:
+                    return
+                di.t_src2 = False
+                di.pend_src2 = True
+            else:
+                if not di.t_dst:
+                    return
+                di.t_dst = False
+                di.pend_dst = True
+        if preg >= 0 and self.taint[preg] and preg not in self._pending_set:
+            self._pending.append((preg, cause))
+            self._pending_set.add(preg)
+
+    # ------------------------------------------------------------ vp events
+    def _declassify(self, di: DynInst) -> None:
+        """Non-speculative transmitter/branch leaks its operands (6.6)."""
+        if di.declassified:
+            return
+        di.declassified = True
+        cause = (UntaintKind.VP_TRANSMITTER if di.is_transmitter
+                 else UntaintKind.VP_BRANCH)
+        for slot in leaked_operands(di.inst):
+            preg = di.prs1 if slot == "src1" else di.prs2
+            self._request(di, slot, preg, cause)
+
+    def on_retire(self, di: DynInst) -> None:
+        # Retirement implies non-speculation even if the VP frontier scan has
+        # not reached the instruction yet this cycle.
+        self._declassify(di)
+
+    def on_squash(self, squashed: list) -> None:
+        # Squashed destination registers are about to be recycled by rename;
+        # their pending broadcasts must die with them, or a later broadcast
+        # would untaint an unrelated new value.
+        if not self._pending:
+            return
+        dead = {di.prd for di in squashed if di.prd >= 0}
+        if not dead:
+            return
+        live = [(preg, cause) for preg, cause in self._pending
+                if preg not in dead]
+        self._pending = live
+        self._pending_set = {preg for preg, _ in live}
+
+    # --------------------------------------------------------- memory hooks
+    def on_load_data(self, di: DynInst) -> None:
+        if di.forwarded_from is not None:
+            # Taint crosses a forwarding pair only via the STLPublic rules.
+            return
+        if not di.t_dst:
+            # Lemma 1: the load reached the VP while waiting for data; its
+            # access is public, so the read bytes become public (rule 6.8-2).
+            self.shadow.clear_range(di.address, di.inst.info.mem_size)
+            self.shadow.loads_cleared += 1
+            return
+        if not self.shadow.range_tainted(di.address, di.inst.info.mem_size):
+            cause = (UntaintKind.SHADOW_MEM
+                     if self.shadow_mode == ShadowMode.FULL_MEMORY
+                     else UntaintKind.SHADOW_L1)
+            self._request(di, "dst", di.prd, cause)
+
+    def on_store_retire(self, di: DynInst) -> None:
+        # Rule 6.8-1: the store data's taint overwrites the written bytes.
+        self.shadow.set_range(di.address, di.inst.info.mem_size,
+                              tainted=di.t_src2)
+        if not di.t_src2:
+            self.shadow.stores_cleared += 1
+
+    def on_l1_evict(self, line: int) -> None:
+        self.shadow.invalidate_line(line)
+
+    # ------------------------------------------------------------------ tick
+    def tick(self) -> None:
+        newly_vp = self.core.advance_vp(self._obstacle)
+        for di in newly_vp:
+            if di.is_transmitter or di.kind in (Kind.BRANCH, Kind.JUMP_REG):
+                self._declassify(di)
+        if self.ideal:
+            self._tick_ideal()
+        else:
+            self._stl_rules()
+            self._local_rules()
+            self._broadcast(limit=self.width)
+
+    def _tick_ideal(self) -> None:
+        """Single-cycle fixpoint untainting (SPT {Ideal, ShadowMem})."""
+        untainted_this_cycle = 0
+        while True:
+            self._stl_rules()
+            self._local_rules()
+            progressed = self._broadcast(limit=None)
+            untainted_this_cycle += progressed
+            if not progressed:
+                break
+        self.untaint.record_cycle_width(untainted_this_cycle)
+
+    # ---------------------------------------------------------------- rules
+    def _local_rules(self) -> None:
+        """Phase 1 (7.3): apply forward/backward rules locally per entry."""
+        backward = self.backward
+        for di in self.core.in_flight():
+            if di.squashed or di.kind not in PURE_KINDS:
+                continue
+            if di.t_dst and forward_untaints_output(di.inst, di.t_src1,
+                                                    di.t_src2):
+                self._request(di, "dst", di.prd, UntaintKind.FORWARD)
+            if not backward:
+                continue
+            slot = backward_untaints(di.inst, di.t_dst, di.t_src1, di.t_src2)
+            if slot == "src1":
+                self._request(di, "src1", di.prs1, UntaintKind.BACKWARD)
+            elif slot == "src2":
+                self._request(di, "src2", di.prs2, UntaintKind.BACKWARD)
+
+    def _stl_rules(self) -> None:
+        """Store-to-load forwarding untaint, gated by STLPublic (6.7)."""
+        for load in self.core.lsq:
+            if not load.is_load or load.squashed or load.fwding_st < 0:
+                continue
+            store = load.forwarded_from
+            if not load.stl_public:
+                if not self._stl_public(load, store):
+                    continue
+                load.stl_public = True
+            if not store.t_src2 and load.t_dst:
+                self._request(load, "dst", load.prd, UntaintKind.STL_FORWARD)
+            elif self.backward and not load.t_dst and store.t_src2:
+                target = store if not store.retired else None
+                self._request(target, "src2", store.prs2,
+                              UntaintKind.STL_BACKWARD)
+                store.t_src2 = False
+
+    def _stl_public(self, load: DynInst, store: DynInst) -> bool:
+        """STLPublic(S, L): forwarding decision inferable by the attacker."""
+        if load.t_src1:
+            return False
+        pending = 0
+        for st in self.core.lsq:
+            if st.seq >= load.seq:
+                break
+            if (st.is_store and not st.squashed and st.seq >= store.seq
+                    and st.t_src1):
+                pending += 1
+        load.num_st_untaint_pending = pending
+        return pending == 0 and not store.t_src1
+
+    # -------------------------------------------------------------- broadcast
+    def _broadcast(self, limit: Optional[int]) -> int:
+        """Phase 2 (7.3): publish up to ``limit`` untainted register IDs."""
+        if not self._pending:
+            if limit is not None:
+                self.untaint.record_cycle_width(0)
+            return 0
+        if limit is None:
+            selected = self._pending
+            self._pending = []
+        else:
+            selected = self._pending[:limit]
+            self._pending = self._pending[limit:]
+            if self._pending:
+                self.untaint.broadcast_stall_cycles += 1
+        self._pending_set = {preg for preg, _ in self._pending}
+        transitions = 0
+        for preg, cause in selected:
+            if self.taint[preg]:
+                self.taint[preg] = False
+                self.untaint.count(cause)
+                transitions += 1
+            self._clear_entry_bits(preg)
+        self.untaint.broadcasts += len(selected)
+        if limit is not None:
+            self.untaint.record_cycle_width(transitions)
+        return transitions
+
+    def _clear_entry_bits(self, preg: int) -> None:
+        for di in self.core.in_flight():
+            if di.prs1 == preg:
+                di.t_src1 = False
+                di.pend_src1 = False
+            if di.prs2 == preg:
+                di.t_src2 = False
+                di.pend_src2 = False
+            if di.prd == preg:
+                di.t_dst = False
+                di.pend_dst = False
+
+    # ------------------------------------------------------------ reporting
+    @property
+    def stats_summary(self) -> dict:
+        summary = dict(self.stats)
+        summary.update(self.untaint.as_dict())
+        summary["untaint_total"] = self.untaint.total
+        summary["broadcasts"] = self.untaint.broadcasts
+        summary["broadcast_stall_cycles"] = self.untaint.broadcast_stall_cycles
+        if self.shadow is not None:
+            summary["shadow_stores_cleared"] = self.shadow.stores_cleared
+            summary["shadow_loads_cleared"] = self.shadow.loads_cleared
+        return summary

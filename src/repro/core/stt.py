@@ -1,0 +1,93 @@
+"""Speculative Taint Tracking (STT) engine (paper Section 2.2, [83]).
+
+STT protects *speculatively-accessed* data only: the output of every load is
+s-tainted until the load reaches the visibility point of the attack model.
+Taint propagates through register dataflow via the youngest-root-of-taint
+(YRoT) scheme: each physical register remembers the youngest access
+instruction (load) its value transitively depends on, and is s-tainted
+exactly while that root has not reached the VP.  Because the VP frontier is a
+program-order prefix, the youngest root reaching the VP implies all older
+roots have too — untainting is a single O(1) check.
+
+Protection policy: delay transmitters whose address operand is s-tainted and
+delay branch-resolution effects while the predicate is s-tainted (blocking
+both explicit and implicit channels).  Store-to-load forwarding is hidden by
+always performing the cache access (Section 6.7's starting point).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack_model import AttackModel, vp_obstacle
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.engine_api import ProtectionEngine
+
+
+class STTEngine(ProtectionEngine):
+    """STT: protects speculatively-accessed data over all covert channels."""
+
+    protects_speculative_data = True
+    protects_nonspeculative_secrets = False
+
+    def __init__(self, model: AttackModel):
+        super().__init__()
+        self.model = model
+        self.name = "STT"
+        self._obstacle = vp_obstacle(model)
+        # Physical register -> youngest root of taint (a load DynInst).
+        self._root_of: dict[int, DynInst] = {}
+
+    # --------------------------------------------------------------- s-taint
+    def _live_root(self, preg: int) -> Optional[DynInst]:
+        root = self._root_of.get(preg)
+        if root is None or root.reached_vp or root.squashed or root.retired:
+            return None
+        return root
+
+    def s_tainted(self, preg: int) -> bool:
+        return preg >= 0 and self._live_root(preg) is not None
+
+    def on_rename(self, di: DynInst) -> None:
+        if di.is_load:
+            # Output of an access instruction: s-tainted until the load's VP.
+            if di.prd >= 0:
+                self._root_of[di.prd] = di
+            return
+        root: Optional[DynInst] = None
+        for preg in (di.prs1, di.prs2):
+            if preg < 0:
+                continue
+            candidate = self._live_root(preg)
+            if candidate is not None and (root is None
+                                          or candidate.seq > root.seq):
+                root = candidate
+        if di.prd >= 0:
+            if root is None:
+                self._root_of.pop(di.prd, None)
+            else:
+                self._root_of[di.prd] = root
+
+    # ---------------------------------------------------------------- gating
+    def may_compute_address(self, di: DynInst) -> bool:
+        if self.s_tainted(di.prs1):
+            self.bump("delayed_transmitter_checks")
+            return False
+        return True
+
+    def may_resolve(self, di: DynInst) -> bool:
+        if self.s_tainted(di.prs1) or (di.inst.info.reads_rs2
+                                       and self.s_tainted(di.prs2)):
+            self.bump("delayed_resolution_checks")
+            return False
+        return True
+
+    def skip_cache_for_forwarding(self, load: DynInst, store: DynInst) -> bool:
+        # Hide the forwarding decision: always perform the cache access
+        # unless the implicit branch is public (all involved addresses
+        # s-untainted).  Conservative: we only skip when both instructions
+        # are past the VP.
+        return load.reached_vp and store.reached_vp
+
+    def tick(self) -> None:
+        self.core.advance_vp(self._obstacle)

@@ -1,0 +1,97 @@
+"""Word-level untaint algebra: the Section 6.6 rules as pure functions.
+
+These are the instruction-granularity counterparts of the bit-level rules in
+:mod:`repro.core.gates`.  The SPT engine applies them to every in-flight
+reservation-station entry each cycle; they are kept here as standalone
+functions so the rules can be tested (and reasoned about) independently of
+the pipeline.
+
+Rules (paper Section 6.6):
+
+* **Forward (output) untainting** — conservative: an instruction whose
+  output is a pure function of its register operands produces an untainted
+  output iff every operand is untainted.  Loads are excluded (their output
+  also depends on memory).
+* **Backward (input) untainting** — for register MOV: an untainted output
+  implies the operand is inferable.  For *invertible* operations (ADD, SUB,
+  XOR and their immediate/rotate forms): an untainted output plus all-but-one
+  untainted inputs imply the remaining input.
+* **PC-inferable outputs** (Section 6.5) — load-immediate results and
+  link-register writes are functions of the ROB contents alone, which are
+  public by Property 1, so they are never tainted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Kind, OpInfo
+
+# Instruction kinds whose results are pure functions of register operands.
+PURE_KINDS = (Kind.ALU, Kind.ALU_IMM, Kind.MOVE)
+
+# Kinds whose outputs are determined by the (public) ROB contents alone.
+PC_INFERABLE_KINDS = (Kind.LOAD_IMM, Kind.JUMP, Kind.JUMP_REG)
+
+
+def initial_output_taint(inst: Instruction, src1_tainted: bool,
+                         src2_tainted: bool) -> bool:
+    """Taint of a newly renamed instruction's output (Section 6.3)."""
+    kind = inst.info.kind
+    if kind == Kind.LOAD:
+        return True                      # memory taint unknown at rename
+    if kind in PC_INFERABLE_KINDS:
+        return False                     # Section 6.5
+    return src1_tainted or src2_tainted
+
+
+def forward_untaints_output(inst: Instruction, src1_tainted: bool,
+                            src2_tainted: bool) -> bool:
+    """Forward rule: may a tainted output become untainted now?"""
+    info = inst.info
+    if info.kind not in PURE_KINDS:
+        return False
+    if src1_tainted:
+        return False
+    return not (info.reads_rs2 and src2_tainted)
+
+
+def backward_untaints(inst: Instruction, dst_tainted: bool,
+                      src1_tainted: bool,
+                      src2_tainted: bool) -> Optional[str]:
+    """Backward rule: which source (if any) becomes inferable?
+
+    Returns ``"src1"``, ``"src2"`` or None.  Requires the output to be
+    untainted (the attacker knows it) and, for two-operand invertible
+    operations, exactly one source still tainted.
+    """
+    info = inst.info
+    if dst_tainted or not info.invertible:
+        return None
+    if info.kind == Kind.MOVE or info.kind == Kind.ALU_IMM:
+        return "src1" if src1_tainted else None
+    if info.kind == Kind.ALU:
+        if src1_tainted and not src2_tainted:
+            return "src1"
+        if src2_tainted and not src1_tainted:
+            return "src2"
+    return None
+
+
+def leaked_operands(inst: Instruction) -> tuple:
+    """Operand slots a transmitter/branch leaks when it executes.
+
+    Loads and stores leak their address base (``rs1``); conditional branches
+    leak both comparison operands; indirect jumps leak the target register.
+    These are the operands SPT declassifies when the instruction reaches the
+    visibility point (Section 6.6).
+    """
+    kind = inst.info.kind
+    if kind in (Kind.LOAD, Kind.STORE):
+        return ("src1",)
+    if kind == Kind.BRANCH:
+        return ("src1", "src2")
+    if kind == Kind.JUMP_REG:
+        return ("src1",)
+    return ()

@@ -1,0 +1,8 @@
+"""One module per table/figure of the paper's evaluation.
+
+Import the submodules explicitly (``from repro.experiments import figure7``);
+they are not imported eagerly so that ``python -m repro.experiments.figure7``
+works without double-import warnings.
+"""
+
+__all__ = ["figure7", "figure8", "figure9", "table3"]

@@ -1,0 +1,59 @@
+"""Table 3: prior hardware mitigations compared along the paper's dimensions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.report import format_table
+
+
+@dataclass(frozen=True)
+class Scheme:
+    name: str
+    data_scope: str
+    transmitter_scope: str
+    receiver_scope: str
+    transparent: str
+
+
+SCHEMES = [
+    Scheme("InvisiSpec", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("SafeSpec", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("DAWG", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("Delay-on-miss", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("Cond. Spec.", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("MuonTrap", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("CleanupSpec", "Spec/Non-spec accessed data", "Cache-based", "CC, ST", "yes"),
+    Scheme("CSF", "Spec/Non-spec accessed data", "Cache-based", "CC, ST",
+           "no, user annotates secrets"),
+    Scheme("MI6", "Spec/Non-spec accessed data", "All", "CC, ST", "yes"),
+    Scheme("ConTExT", "Spec/Non-spec accessed data", "All", "CC, ST, SMT",
+           "no, user annotates secrets"),
+    Scheme("OISA", "Spec/Non-spec accessed data", "All", "CC, ST, SMT",
+           "no, user annotates secrets"),
+    Scheme("STT", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
+    Scheme("SDO", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
+    Scheme("SpecShield", "Spec accessed data", "All", "CC, ST, SMT", "yes"),
+    Scheme("NDA", "Spec/Non-spec accessed data", "All", "CC, ST, SMT", "yes"),
+    Scheme("Dolma", "Spec/Non-spec accessed data", "All", "CC, ST", "yes"),
+    Scheme("SPT (this work)", "Non-spec secrets", "All", "CC, ST, SMT", "yes"),
+]
+
+
+def render() -> str:
+    headers = ["Scheme", "Data protection scope", "Transmitter scope",
+               "Receiver scope", "Programmer transparent?"]
+    rows = [[s.name, s.data_scope, s.transmitter_scope, s.receiver_scope,
+             s.transparent] for s in SCHEMES]
+    return format_table(headers, rows,
+                        title="Table 3: prior hardware-based mitigations")
+
+
+def main() -> str:
+    text = render()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

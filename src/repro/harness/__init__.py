@@ -1,0 +1,15 @@
+"""Configuration registry, runner, and reporting."""
+
+from repro.harness.configs import (CONFIGURATIONS, FIGURE7_ORDER, FULL_SPT,
+                                   SECURE_CONFIGS, SPT_CONFIGS, Configuration,
+                                   make_engine, table2_text)
+from repro.harness.report import format_bar, format_table, geomean, mean
+from repro.harness.runner import (RunResult, bench_budget, bench_scale,
+                                  normalized_time, run_one)
+
+__all__ = [
+    "CONFIGURATIONS", "FIGURE7_ORDER", "FULL_SPT", "SECURE_CONFIGS",
+    "SPT_CONFIGS", "Configuration", "make_engine", "table2_text",
+    "format_bar", "format_table", "geomean", "mean",
+    "RunResult", "bench_budget", "bench_scale", "normalized_time", "run_one",
+]

@@ -1,0 +1,96 @@
+"""The evaluated design variants (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.attack_model import AttackModel
+from repro.core.baselines import SecureBaseline, UnsafeBaseline
+from repro.core.shadow_l1 import ShadowMode
+from repro.core.spt import SPTEngine
+from repro.core.stt import STTEngine
+from repro.pipeline.engine_api import ProtectionEngine
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One Table 2 row: a named engine factory."""
+
+    name: str
+    description: str
+    make: Callable[[AttackModel], ProtectionEngine]
+    needs_model: bool = True
+
+
+def _unsafe(model: AttackModel) -> ProtectionEngine:
+    return UnsafeBaseline()
+
+
+CONFIGURATIONS: dict[str, Configuration] = {
+    "UnsafeBaseline": Configuration(
+        "UnsafeBaseline", "An unmodified, insecure processor.",
+        _unsafe, needs_model=False),
+    "SecureBaseline": Configuration(
+        "SecureBaseline", "Loads and stores delayed until reaching the VP.",
+        SecureBaseline),
+    "SPT{Fwd,NoShadowL1}": Configuration(
+        "SPT{Fwd,NoShadowL1}",
+        "Forward untainting only (in RS). No shadow L1.",
+        lambda m: SPTEngine(m, backward=False, shadow=ShadowMode.NONE)),
+    "SPT{Bwd,NoShadowL1}": Configuration(
+        "SPT{Bwd,NoShadowL1}",
+        "Forward and backward untainting (in RS). No shadow L1.",
+        lambda m: SPTEngine(m, backward=True, shadow=ShadowMode.NONE)),
+    "SPT{Bwd,ShadowL1}": Configuration(
+        "SPT{Bwd,ShadowL1}",
+        "Forward and backward untainting (in RS) plus shadow L1 "
+        "(L1D taint tracking). The full SPT design.",
+        lambda m: SPTEngine(m, backward=True, shadow=ShadowMode.L1)),
+    "SPT{Bwd,ShadowMem}": Configuration(
+        "SPT{Bwd,ShadowMem}",
+        "Forward and backward untainting (in RS) plus all-memory taint "
+        "tracking.",
+        lambda m: SPTEngine(m, backward=True, shadow=ShadowMode.FULL_MEMORY)),
+    "SPT{Ideal,ShadowMem}": Configuration(
+        "SPT{Ideal,ShadowMem}",
+        "Ideal forward and backward untainting (in RS) plus all-memory "
+        "taint tracking.",
+        lambda m: SPTEngine(m, ideal=True, shadow=ShadowMode.FULL_MEMORY)),
+    "STT": Configuration(
+        "STT", "Only protects speculatively-accessed data.",
+        STTEngine),
+}
+
+# The full SPT design referenced throughout the evaluation.
+FULL_SPT = "SPT{Bwd,ShadowL1}"
+
+# Figure 7 plots every configuration in this order.
+FIGURE7_ORDER = [
+    "SecureBaseline",
+    "SPT{Fwd,NoShadowL1}",
+    "SPT{Bwd,NoShadowL1}",
+    "SPT{Bwd,ShadowL1}",
+    "SPT{Bwd,ShadowMem}",
+    "SPT{Ideal,ShadowMem}",
+    "STT",
+]
+
+SECURE_CONFIGS = [name for name in CONFIGURATIONS if name != "UnsafeBaseline"]
+SPT_CONFIGS = [name for name in CONFIGURATIONS if name.startswith("SPT")]
+
+
+def make_engine(name: str, model: AttackModel) -> ProtectionEngine:
+    """Instantiate the engine for a Table 2 configuration name."""
+    config = CONFIGURATIONS[name]
+    return config.make(model)
+
+
+def table2_text() -> str:
+    """Render Table 2."""
+    width = max(len(c.name) for c in CONFIGURATIONS.values())
+    lines = [f"{'Configuration':<{width}}  Description",
+             "-" * (width + 50)]
+    for config in CONFIGURATIONS.values():
+        lines.append(f"{config.name:<{width}}  {config.description}")
+    return "\n".join(lines)

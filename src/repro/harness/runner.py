@@ -1,0 +1,77 @@
+"""Experiment runner: one (workload, configuration, attack model) simulation."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.core.spt import SPTEngine
+from repro.harness.configs import make_engine
+from repro.pipeline.core import OoOCore, SimResult
+from repro.pipeline.params import MachineParams
+from repro.workloads.registry import get as get_workload
+
+
+def bench_budget(default: int = 2500) -> int:
+    """Per-run retired-instruction budget (env: REPRO_BENCH_BUDGET)."""
+    return int(os.environ.get("REPRO_BENCH_BUDGET", default))
+
+
+def bench_scale(default: int = 1) -> int:
+    """Workload scale factor (env: REPRO_BENCH_SCALE)."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@dataclass
+class RunResult:
+    """Everything the experiment modules need from one simulation."""
+
+    workload: str
+    config: str
+    model: AttackModel
+    cycles: int
+    retired: int
+    stats: dict
+    untaint_by_kind: dict = field(default_factory=dict)
+    untaints_per_cycle: dict = field(default_factory=dict)
+    sim: Optional[SimResult] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.retired / self.cycles if self.cycles else 0.0
+
+
+def run_one(workload: str, config: str,
+            model: AttackModel = AttackModel.FUTURISTIC,
+            scale: int = 1, max_instructions: Optional[int] = None,
+            params: Optional[MachineParams] = None,
+            keep_sim: bool = False) -> RunResult:
+    """Simulate ``workload`` under ``config`` and collect statistics."""
+    program = get_workload(workload).program(scale)
+    engine = make_engine(config, model)
+    core = OoOCore(program, engine=engine, params=params or MachineParams())
+    sim = core.run(max_instructions=max_instructions or 10_000_000)
+    untaint_by_kind: dict = {}
+    untaints_per_cycle: dict = {}
+    if isinstance(engine, SPTEngine):
+        untaint_by_kind = engine.untaint.as_dict()
+        untaints_per_cycle = dict(engine.untaint.untaints_per_cycle)
+    return RunResult(workload, config, model, sim.cycles, sim.retired,
+                     sim.stats, untaint_by_kind, untaints_per_cycle,
+                     sim if keep_sim else None)
+
+
+def normalized_time(result: RunResult, baseline: RunResult) -> float:
+    """Execution time relative to a baseline run of the same workload.
+
+    Both runs retire the same instruction stream prefix (same program, same
+    budget), so cycles are directly comparable; we still normalise per
+    retired instruction defensively in case a budget cut the runs at
+    slightly different points.
+    """
+    if baseline.retired == result.retired:
+        return result.cycles / baseline.cycles
+    return (result.cycles / max(1, result.retired)) / \
+        (baseline.cycles / max(1, baseline.retired))

@@ -1,0 +1,216 @@
+"""Two-pass text assembler for the repro ISA.
+
+Syntax (one instruction per line, ``#`` or ``;`` starts a comment)::
+
+    loop:                       # label
+        li   t0, 42             # load immediate
+        add  a0, a0, t0
+        ld   a1, 8(a0)          # loads/stores use offset(base)
+        sd   a1, 0(sp)
+        beq  a0, zero, done     # branch to label
+        jal  ra, loop
+    done:
+        halt
+
+    .data secret 0x1000         # data label at byte address 0x1000
+    .word 0x1000 7              # 8-byte little-endian constant
+    .byte 0x1008 255
+
+Registers accept ``x0``-``x31`` or RISC-V style ABI names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.isa.instructions import Instruction, IsaError, Program, store_word
+from repro.isa.opcodes import OPCODES, Kind
+
+_ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "fp": 8, "s0": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def parse_register(token: str) -> int:
+    """Parse a register token (``x7`` or an ABI name) to its number."""
+    token = token.strip().lower()
+    if token in _ABI_NAMES:
+        return _ABI_NAMES[token]
+    if token.startswith("x") and token[1:].isdigit():
+        number = int(token[1:])
+        if 0 <= number < 32:
+            return number
+    raise IsaError(f"bad register {token!r}")
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise IsaError(f"bad integer literal {token!r}") from None
+
+
+class Assembler:
+    """Two-pass assembler building a :class:`Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._lines: list[tuple[int, str]] = []
+
+    def assemble(self, source: str) -> Program:
+        labels, stripped = self._collect_labels(source)
+        instructions: list[Instruction] = []
+        memory: dict[int, int] = {}
+        data_symbols: dict[str, int] = {}
+        for line_number, text in stripped:
+            if text.startswith("."):
+                self._directive(text, line_number, memory, data_symbols)
+                continue
+            instructions.append(
+                self._parse_instruction(text, line_number, labels, data_symbols))
+        if not instructions:
+            raise IsaError("empty program")
+        return Program(instructions, memory, labels, data_symbols, self.name)
+
+    def _collect_labels(self, source: str) -> tuple[dict[str, int], list[tuple[int, str]]]:
+        labels: dict[str, int] = {}
+        stripped: list[tuple[int, str]] = []
+        pc = 0
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            text = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+            if not text:
+                continue
+            while ":" in text:
+                label, _, rest = text.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise IsaError(f"line {line_number}: bad label {label!r}")
+                if label in labels:
+                    raise IsaError(f"line {line_number}: duplicate label {label!r}")
+                labels[label] = pc
+                text = rest.strip()
+            if not text:
+                continue
+            stripped.append((line_number, text))
+            if not text.startswith("."):
+                pc += 1
+        return labels, stripped
+
+    def _directive(self, text: str, line_number: int, memory: dict[int, int],
+                   data_symbols: dict[str, int]) -> None:
+        parts = text.split()
+        directive = parts[0]
+        if directive == ".data" and len(parts) == 3:
+            data_symbols[parts[1]] = _parse_int(parts[2])
+        elif directive == ".word" and len(parts) == 3:
+            address = self._data_address(parts[1], data_symbols)
+            store_word(memory, address, _parse_int(parts[2]) & ((1 << 64) - 1), 8)
+        elif directive == ".byte" and len(parts) == 3:
+            address = self._data_address(parts[1], data_symbols)
+            memory[address] = _parse_int(parts[2]) & 0xFF
+        else:
+            raise IsaError(f"line {line_number}: bad directive {text!r}")
+
+    @staticmethod
+    def _data_address(token: str, data_symbols: dict[str, int]) -> int:
+        if token in data_symbols:
+            return data_symbols[token]
+        return _parse_int(token)
+
+    def _parse_instruction(self, text: str, line_number: int,
+                           labels: dict[str, int],
+                           data_symbols: dict[str, int]) -> Instruction:
+        mnemonic, _, operand_text = text.partition(" ")
+        op = mnemonic.strip().upper()
+        if op not in OPCODES:
+            raise IsaError(f"line {line_number}: unknown opcode {mnemonic!r}")
+        info = OPCODES[op]
+        operands = [t.strip() for t in operand_text.split(",") if t.strip()]
+        try:
+            return self._build(op, info.kind, operands, labels, data_symbols)
+        except IsaError as error:
+            raise IsaError(f"line {line_number}: {error}") from None
+
+    def _build(self, op: str, kind: Kind, operands: list[str],
+               labels: dict[str, int], data_symbols: dict[str, int]) -> Instruction:
+        def imm_of(token: str) -> int:
+            if token in labels:
+                return labels[token]
+            if token in data_symbols:
+                return data_symbols[token]
+            return _parse_int(token)
+
+        if kind in (Kind.HALT, Kind.NOP):
+            self._expect(op, operands, 0)
+            return Instruction(op)
+        if kind == Kind.LOAD_IMM:
+            self._expect(op, operands, 2)
+            return Instruction(op, rd=parse_register(operands[0]),
+                               imm=imm_of(operands[1]))
+        if kind == Kind.MOVE:
+            self._expect(op, operands, 2)
+            return Instruction(op, rd=parse_register(operands[0]),
+                               rs1=parse_register(operands[1]))
+        if kind == Kind.ALU:
+            self._expect(op, operands, 3)
+            return Instruction(op, rd=parse_register(operands[0]),
+                               rs1=parse_register(operands[1]),
+                               rs2=parse_register(operands[2]))
+        if kind == Kind.ALU_IMM:
+            self._expect(op, operands, 3)
+            return Instruction(op, rd=parse_register(operands[0]),
+                               rs1=parse_register(operands[1]),
+                               imm=imm_of(operands[2]))
+        if kind in (Kind.LOAD, Kind.STORE):
+            self._expect(op, operands, 2)
+            offset, base = self._parse_mem(operands[1], data_symbols)
+            data_reg = parse_register(operands[0])
+            if kind == Kind.LOAD:
+                return Instruction(op, rd=data_reg, rs1=base, imm=offset)
+            return Instruction(op, rs1=base, rs2=data_reg, imm=offset)
+        if kind == Kind.BRANCH:
+            self._expect(op, operands, 3)
+            return Instruction(op, rs1=parse_register(operands[0]),
+                               rs2=parse_register(operands[1]),
+                               imm=imm_of(operands[2]))
+        if kind == Kind.JUMP:
+            self._expect(op, operands, 2)
+            return Instruction(op, rd=parse_register(operands[0]),
+                               imm=imm_of(operands[1]))
+        if kind == Kind.JUMP_REG:
+            self._expect(op, operands, 3)
+            return Instruction(op, rd=parse_register(operands[0]),
+                               rs1=parse_register(operands[1]),
+                               imm=imm_of(operands[2]))
+        raise IsaError(f"unhandled kind {kind} for {op}")
+
+    @staticmethod
+    def _expect(op: str, operands: list[str], count: int) -> None:
+        if len(operands) != count:
+            raise IsaError(f"{op} expects {count} operands, got {len(operands)}")
+
+    def _parse_mem(self, token: str, data_symbols: dict[str, int]) -> tuple[int, int]:
+        match = _MEM_OPERAND.match(token.strip())
+        if not match:
+            raise IsaError(f"bad memory operand {token!r}")
+        offset_token, base_token = match.groups()
+        if offset_token in data_symbols:
+            offset = data_symbols[offset_token]
+        else:
+            offset = _parse_int(offset_token)
+        return offset, parse_register(base_token)
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    return Assembler(name).assemble(source)

@@ -1,0 +1,105 @@
+"""Pure functional semantics of the ISA, shared by the golden interpreter and
+the out-of-order pipeline's execute stage.
+
+Keeping the semantics in one place guarantees that the pipeline cannot drift
+from the reference model: both call :func:`alu_result`, :func:`branch_taken`
+and the memory access helpers below.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import WORD_MASK, to_signed, to_unsigned
+
+
+def alu_result(inst: Instruction, a: int, b: int) -> int:
+    """Result of an ALU / move / load-immediate instruction.
+
+    ``a`` is the rs1 value, ``b`` the rs2 value (ignored by immediate forms).
+    All values are 64-bit unsigned.
+    """
+    op = inst.op
+    imm = inst.imm
+    if op == "ADD":
+        return (a + b) & WORD_MASK
+    if op == "SUB":
+        return (a - b) & WORD_MASK
+    if op == "AND":
+        return a & b
+    if op == "OR":
+        return a | b
+    if op == "XOR":
+        return a ^ b
+    if op == "SLL":
+        return (a << (b & 63)) & WORD_MASK
+    if op == "SRL":
+        return a >> (b & 63)
+    if op == "SRA":
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if op == "SLT":
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op == "SLTU":
+        return 1 if a < b else 0
+    if op == "MUL":
+        return (a * b) & WORD_MASK
+    if op == "DIV":
+        if b == 0:
+            return WORD_MASK
+        return to_unsigned(int(to_signed(a) / to_signed(b)))
+    if op == "REM":
+        if b == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(b)
+        return to_unsigned(sa - sb * int(sa / sb))
+    if op == "ADDI":
+        return (a + imm) & WORD_MASK
+    if op == "ANDI":
+        return a & (imm & WORD_MASK)
+    if op == "ORI":
+        return a | (imm & WORD_MASK)
+    if op == "XORI":
+        return a ^ (imm & WORD_MASK)
+    if op == "SLLI":
+        return (a << (imm & 63)) & WORD_MASK
+    if op == "SRLI":
+        return a >> (imm & 63)
+    if op == "SRAI":
+        return to_unsigned(to_signed(a) >> (imm & 63))
+    if op == "SLTI":
+        return 1 if to_signed(a) < to_signed(imm) else 0
+    if op == "ROTLI":
+        shift = imm & 63
+        return ((a << shift) | (a >> (64 - shift))) & WORD_MASK if shift else a
+    if op == "ROTRI":
+        shift = imm & 63
+        return ((a >> shift) | (a << (64 - shift))) & WORD_MASK if shift else a
+    if op == "MOV":
+        return a
+    if op == "NOT":
+        return a ^ WORD_MASK
+    if op == "LI":
+        return imm & WORD_MASK
+    raise ValueError(f"{op} is not an ALU instruction")
+
+
+def branch_taken(inst: Instruction, a: int, b: int) -> bool:
+    """Whether a conditional branch is taken given its operand values."""
+    op = inst.op
+    if op == "BEQ":
+        return a == b
+    if op == "BNE":
+        return a != b
+    if op == "BLT":
+        return to_signed(a) < to_signed(b)
+    if op == "BGE":
+        return to_signed(a) >= to_signed(b)
+    if op == "BLTU":
+        return a < b
+    if op == "BGEU":
+        return a >= b
+    raise ValueError(f"{op} is not a branch")
+
+
+def effective_address(inst: Instruction, base: int) -> int:
+    """Byte address accessed by a load/store (wraps at 2^64)."""
+    return (base + inst.imm) & WORD_MASK

@@ -1,0 +1,11 @@
+"""Memory substrate: main memory, caches, and the timed hierarchy."""
+
+from repro.memory.cache import Cache, CacheParams, CacheStats
+from repro.memory.hierarchy import AccessResult, HierarchyParams, MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+
+__all__ = [
+    "Cache", "CacheParams", "CacheStats",
+    "AccessResult", "HierarchyParams", "MemoryHierarchy",
+    "MainMemory",
+]

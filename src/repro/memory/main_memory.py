@@ -1,0 +1,33 @@
+"""Flat byte-addressed backing store.
+
+This is the architectural memory behind the cache hierarchy.  Values are kept
+per byte in a dict so that sparse address spaces (attack gadgets probe far
+apart lines) stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import WORD_MASK
+
+
+class MainMemory:
+    """Byte-addressed main memory with little-endian multi-byte accessors."""
+
+    def __init__(self, image: dict[int, int] | None = None):
+        self._bytes: dict[int, int] = dict(image) if image else {}
+
+    def load(self, address: int, size: int) -> int:
+        data = self._bytes
+        value = 0
+        for offset in range(size):
+            value |= data.get((address + offset) & WORD_MASK, 0) << (8 * offset)
+        return value
+
+    def store(self, address: int, value: int, size: int) -> None:
+        data = self._bytes
+        for offset in range(size):
+            data[(address + offset) & WORD_MASK] = (value >> (8 * offset)) & 0xFF
+
+    def snapshot(self) -> dict[int, int]:
+        """A copy of all nonzero bytes (zero bytes are normalised away)."""
+        return {a: b for a, b in self._bytes.items() if b}

@@ -1,0 +1,147 @@
+"""Branch prediction: gshare direction predictor + BTB + return address stack.
+
+Stands in for the paper's LTAGE (Table 1).  Two properties matter for the
+reproduction:
+
+* it mispredicts realistically, so transient (wrong-path) execution happens;
+* its state is updated **only at branch resolution time** and is part of the
+  attacker-observable trace, so the implicit-channel rule of STT/SPT
+  ("tainted data must not affect predictor state", Section 2.2.1) is
+  faithfully testable — delayed resolution delays the update.
+
+Attack harnesses use :meth:`train_direction` / :meth:`train_btb` to mis-train
+the predictor the way Spectre attackers do.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Kind
+
+
+class GsharePredictor:
+    """Global-history XOR PC indexed 2-bit counter table."""
+
+    def __init__(self, history_bits: int = 12):
+        self.history_bits = history_bits
+        self._table = [1] * (1 << history_bits)   # weakly not-taken
+        self._mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc: int, history: int) -> int:
+        return (pc ^ history) & self._mask
+
+    def predict(self, pc: int) -> tuple[bool, int]:
+        """Predict direction; returns (taken, history_snapshot)."""
+        snapshot = self.history
+        taken = self._table[self._index(pc, snapshot)] >= 2
+        # Speculative history update (standard for global-history predictors).
+        self.history = ((snapshot << 1) | (1 if taken else 0)) & self._mask
+        return taken, snapshot
+
+    def update(self, pc: int, history_snapshot: int, taken: bool) -> None:
+        index = self._index(pc, history_snapshot)
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+
+    def repair_history(self, history_snapshot: int, taken: bool) -> None:
+        """Restore history after a direction misprediction."""
+        self.history = ((history_snapshot << 1) | (1 if taken else 0)) & self._mask
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB for indirect jump targets."""
+
+    def __init__(self, entries: int = 512):
+        self._entries = entries
+        self._table: dict[int, int] = {}
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._table.get(pc % self._entries)
+
+    def update(self, pc: int, target: int) -> None:
+        self._table[pc % self._entries] = target
+
+
+class ReturnAddressStack:
+    """Bounded RAS; JALR with rs1=ra pops, JAL/JALR with rd=ra pushes."""
+
+    def __init__(self, entries: int = 16):
+        self._entries = entries
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        if len(self._stack) >= self._entries:
+            self._stack.pop(0)
+        self._stack.append(return_pc)
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+
+class BranchPredictor:
+    """Composite frontend predictor used by the fetch stage."""
+
+    def __init__(self, history_bits: int = 12, btb_entries: int = 512,
+                 ras_entries: int = 16):
+        self.direction = GsharePredictor(history_bits)
+        self.btb = BranchTargetBuffer(btb_entries)
+        self.ras = ReturnAddressStack(ras_entries)
+        self.lookups = 0
+        self.updates = 0
+
+    def predict(self, pc: int, inst: Instruction) -> tuple[bool, Optional[int], int]:
+        """Predict one control instruction at fetch.
+
+        Returns (predicted_taken, predicted_target, history_snapshot).
+        ``predicted_target`` is None when no target is known (untrained BTB),
+        in which case fetch falls through and waits for resolution.
+        """
+        kind = inst.info.kind
+        self.lookups += 1
+        if kind == Kind.BRANCH:
+            taken, snapshot = self.direction.predict(pc)
+            return taken, inst.imm if taken else pc + 1, snapshot
+        if kind == Kind.JUMP:
+            if inst.rd == 1:   # call: push return address
+                self.ras.push(pc + 1)
+            return True, inst.imm, 0
+        if kind == Kind.JUMP_REG:
+            if inst.rd == 1:
+                self.ras.push(pc + 1)
+            if inst.rs1 == 1 and inst.rd != 1:   # return
+                target = self.ras.pop()
+                if target is not None:
+                    return True, target, 0
+            return True, self.btb.predict(pc), 0
+        raise ValueError(f"{inst.op} is not a control instruction")
+
+    def resolve(self, pc: int, inst: Instruction, taken: bool, target: int,
+                history_snapshot: int, mispredicted: bool) -> None:
+        """Apply the resolution-time update (delayed by STT/SPT rules)."""
+        self.updates += 1
+        kind = inst.info.kind
+        if kind == Kind.BRANCH:
+            self.direction.update(pc, history_snapshot, taken)
+            if mispredicted:
+                self.direction.repair_history(history_snapshot, taken)
+        elif kind == Kind.JUMP_REG:
+            self.btb.update(pc, target)
+
+    # ----------------------------------------------------- attack interfaces
+    def train_direction(self, pc: int, taken: bool, repeats: int = 4) -> None:
+        """Mis-train the direction predictor for a given PC (Spectre-style)."""
+        for _ in range(repeats):
+            snapshot = self.direction.history
+            self.direction.update(pc, snapshot, taken)
+
+    def train_btb(self, pc: int, target: int) -> None:
+        """Plant an indirect-branch target (SmotherSpectre-style)."""
+        self.btb.update(pc, target)

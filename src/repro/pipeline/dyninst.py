@@ -1,0 +1,128 @@
+"""Dynamic (in-flight) instruction record shared by pipeline and taint engines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Kind
+
+
+class DynInst:
+    """One dynamic instruction travelling through the pipeline.
+
+    Carries rename state, scheduling state, control/memory state, and the
+    per-slot taint bits used by SPT's reservation-station untaint logic
+    (paper Section 7.2-7.3).
+    """
+
+    __slots__ = (
+        "seq", "pc", "inst", "kind",
+        # Rename.
+        "prs1", "prs2", "prd", "old_prd",
+        # Values (filled as operands become ready / result computed).
+        "rs1_value", "rs2_value", "result",
+        # Scheduling.
+        "issued", "complete", "ready_cycle", "retired", "squashed",
+        # Lifecycle timestamps (for the pipeline tracer).
+        "fetch_cycle", "dispatch_cycle", "issue_cycle", "complete_cycle",
+        "retire_cycle",
+        # Control flow.
+        "predicted_taken", "predicted_target", "history_snapshot",
+        "actual_taken", "actual_target", "mispredicted", "resolution_applied",
+        "prediction_missing",
+        # Memory.
+        "address", "addr_ready", "mem_issued", "mem_complete", "lsq_index",
+        "forwarded_from", "fwding_st", "num_st_untaint_pending", "stl_public",
+        "load_value", "access_level",
+        # Visibility point / declassification.
+        "reached_vp", "declassified",
+        # STT s-taint (youngest root of taint).
+        "stt_root",
+        # SPT per-slot taint bits + untaint-broadcast-pending flags (7.3).
+        "t_src1", "t_src2", "t_dst", "pend_src1", "pend_src2", "pend_dst",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction):
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.kind = inst.info.kind
+        self.prs1 = -1
+        self.prs2 = -1
+        self.prd = -1
+        self.old_prd = -1
+        self.rs1_value: Optional[int] = None
+        self.rs2_value: Optional[int] = None
+        self.result: Optional[int] = None
+        self.issued = False
+        self.complete = False
+        self.ready_cycle = -1
+        self.retired = False
+        self.squashed = False
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.retire_cycle = -1
+        self.predicted_taken = False
+        self.predicted_target: Optional[int] = None
+        self.history_snapshot = 0
+        self.actual_taken = False
+        self.actual_target: Optional[int] = None
+        self.mispredicted = False
+        self.resolution_applied = False
+        self.prediction_missing = False
+        self.address: Optional[int] = None
+        self.addr_ready = False
+        self.mem_issued = False
+        self.mem_complete = False
+        self.lsq_index = -1
+        self.forwarded_from: Optional["DynInst"] = None
+        self.fwding_st = -1
+        self.num_st_untaint_pending = -1
+        self.stl_public = False
+        self.load_value: Optional[int] = None
+        self.access_level: Optional[str] = None
+        self.reached_vp = False
+        self.declassified = False
+        self.stt_root: Optional["DynInst"] = None
+        self.t_src1 = False
+        self.t_src2 = False
+        self.t_dst = False
+        self.pend_src1 = False
+        self.pend_src2 = False
+        self.pend_dst = False
+
+    # --------------------------------------------------------------- queries
+    @property
+    def is_control(self) -> bool:
+        return self.kind in (Kind.BRANCH, Kind.JUMP, Kind.JUMP_REG)
+
+    @property
+    def is_predicted_control(self) -> bool:
+        """Control instructions that can mispredict (JAL targets are exact)."""
+        return self.kind in (Kind.BRANCH, Kind.JUMP_REG)
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == Kind.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == Kind.STORE
+
+    @property
+    def is_transmitter(self) -> bool:
+        """Explicit-channel transmitters (loads/stores, paper Section 9.1)."""
+        return self.kind in (Kind.LOAD, Kind.STORE)
+
+    def __repr__(self) -> str:
+        flags = "".join((
+            "I" if self.issued else ".",
+            "C" if self.complete else ".",
+            "V" if self.reached_vp else ".",
+            "R" if self.retired else ".",
+            "X" if self.squashed else ".",
+        ))
+        return f"<#{self.seq} pc={self.pc} {self.inst} [{flags}]>"

@@ -1,0 +1,74 @@
+"""Protection-engine interface between the OoO core and the taint engines.
+
+The pipeline is agnostic of *why* an instruction is delayed: it consults the
+attached :class:`ProtectionEngine` at three gating points (transmitter address
+computation, branch resolution, store-to-load-forwarding visibility) and
+notifies it of every microarchitectural event it needs for taint tracking.
+The engines in :mod:`repro.core` (STT, SPT, baselines) subclass this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.pipeline.core import OoOCore
+    from repro.pipeline.dyninst import DynInst
+
+
+class ProtectionEngine:
+    """Default engine: no protection (UnsafeBaseline)."""
+
+    name = "UnsafeBaseline"
+    protects_speculative_data = False
+    protects_nonspeculative_secrets = False
+
+    def __init__(self) -> None:
+        self.core: Optional["OoOCore"] = None
+        self.stats: dict[str, int] = {}
+
+    def attach(self, core: "OoOCore") -> None:
+        self.core = core
+
+    def bump(self, stat: str, amount: int = 1) -> None:
+        self.stats[stat] = self.stats.get(stat, 0) + amount
+
+    # ------------------------------------------------------------- gating
+    def may_compute_address(self, di: "DynInst") -> bool:
+        """May this load/store start executing (address calc, TLB, cache)?"""
+        return True
+
+    def may_resolve(self, di: "DynInst") -> bool:
+        """May this control instruction apply its resolution effects?"""
+        return True
+
+    def skip_cache_for_forwarding(self, load: "DynInst", store: "DynInst") -> bool:
+        """May a forwarded load skip its cache access?
+
+        Returning False hides the forwarding decision (the load accesses the
+        cache anyway and silently uses the forwarded value), which is STT's
+        store-to-load-forwarding protection (paper Section 6.7).
+        """
+        return True
+
+    # -------------------------------------------------------------- events
+    def on_rename(self, di: "DynInst") -> None:
+        """Instruction renamed: initialise its taint state."""
+
+    def on_load_data(self, di: "DynInst") -> None:
+        """Load data arrived (di.load_value / di.address / di.access_level set)."""
+
+    def on_store_retire(self, di: "DynInst") -> None:
+        """Store wrote the L1D at retirement."""
+
+    def on_l1_evict(self, line: int) -> None:
+        """The L1D evicted or invalidated ``line``."""
+
+    def on_squash(self, squashed: list) -> None:
+        """Instructions removed from the window (youngest first)."""
+
+    def on_retire(self, di: "DynInst") -> None:
+        """Instruction retired (left the window)."""
+
+    def tick(self) -> None:
+        """End-of-cycle hook: VP advance, declassification, untaint rules."""

@@ -1,0 +1,90 @@
+"""Register renaming: RAT, free list, and the physical register file.
+
+Squash recovery walks the squashed instructions youngest-first and undoes
+each rename (restoring the RAT entry to ``old_prd`` and freeing the allocated
+register), which is equivalent to — and simpler than — per-branch RAT
+checkpoints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.isa.opcodes import NUM_ARCH_REGS
+from repro.pipeline.dyninst import DynInst
+
+
+class OutOfPhysRegs(Exception):
+    """Raised when rename runs out of physical registers (a sizing bug)."""
+
+
+class RenameUnit:
+    """RAT + free list + physical register file (values and ready bits)."""
+
+    def __init__(self, num_phys_regs: int):
+        if num_phys_regs <= NUM_ARCH_REGS:
+            raise ValueError("need more physical than architectural registers")
+        self.num_phys_regs = num_phys_regs
+        # Identity mapping at reset: arch i -> phys i.
+        self.rat: list[int] = list(range(NUM_ARCH_REGS))
+        self.free: deque[int] = deque(range(NUM_ARCH_REGS, num_phys_regs))
+        self.ready: list[bool] = [True] * num_phys_regs
+        self.value: list[int] = [0] * num_phys_regs
+
+    def free_count(self) -> int:
+        return len(self.free)
+
+    def rename(self, di: DynInst) -> None:
+        """Map source operands and allocate a destination register."""
+        inst = di.inst
+        info = inst.info
+        if info.reads_rs1:
+            di.prs1 = self.rat[inst.rs1]
+        if info.reads_rs2:
+            di.prs2 = self.rat[inst.rs2]
+        if info.writes_rd and inst.rd != 0:
+            if not self.free:
+                raise OutOfPhysRegs("free list empty at rename")
+            preg = self.free.popleft()
+            di.old_prd = self.rat[inst.rd]
+            di.prd = preg
+            self.rat[inst.rd] = preg
+            self.ready[preg] = False
+            self.value[preg] = 0
+
+    def write_result(self, di: DynInst, value: int) -> None:
+        """Publish a result to the PRF (bypass is implicit: same cycle)."""
+        if di.prd >= 0:
+            self.value[di.prd] = value
+            self.ready[di.prd] = True
+
+    def undo(self, di: DynInst) -> None:
+        """Reverse one rename during squash (call youngest-first)."""
+        if di.prd >= 0:
+            self.rat[di.inst.rd] = di.old_prd
+            self.free.appendleft(di.prd)
+            self.ready[di.prd] = True
+            di.prd = -1
+
+    def commit(self, di: DynInst) -> None:
+        """Retire-time reclamation of the previous mapping."""
+        if di.prd >= 0 and di.old_prd >= NUM_ARCH_REGS:
+            self.free.append(di.old_prd)
+        elif di.prd >= 0 and 0 <= di.old_prd < NUM_ARCH_REGS:
+            # Initial identity registers are reclaimed once overwritten, but
+            # phys 0 stays pinned as the architectural zero register.
+            if di.old_prd != 0 and di.old_prd not in self.free:
+                self.free.append(di.old_prd)
+
+    def operand_ready(self, preg: int) -> bool:
+        return preg < 0 or self.ready[preg]
+
+    def read(self, preg: int) -> int:
+        return 0 if preg < 0 else self.value[preg]
+
+    def arch_value(self, arch_reg: int) -> int:
+        """Architectural read through the RAT (valid when pipeline drained)."""
+        if arch_reg == 0:
+            return 0
+        return self.value[self.rat[arch_reg]]

@@ -1,0 +1,6 @@
+"""Attacker observation model and penetration-test gadgets."""
+
+from repro.security.observer import (Observation, Observer, differing_events,
+                                     traces_equal)
+
+__all__ = ["Observation", "Observer", "differing_events", "traces_equal"]

@@ -1,0 +1,180 @@
+"""Attack gadgets for penetration testing (paper Section 9.1).
+
+Two attacks, matching the paper's pen-test matrix:
+
+* :func:`spectre_v1` — the classic bounds-check-bypass universal read gadget.
+  A transient out-of-bounds load reads a secret byte and transmits it through
+  a probe-array cache line.  Leaks *speculatively-accessed* data: blocked by
+  STT, SPT and SecureBaseline, observable on UnsafeBaseline.
+
+* :func:`nonspec_secret` — the attack that motivates SPT (Section 3).  A
+  constant-time victim holds a secret in a register *non-speculatively*; a
+  mis-trained indirect branch transiently redirects execution into a transmit
+  gadget that leaks the register.  Because the secret was non-speculatively
+  accessed, STT does **not** protect it — only SPT and SecureBaseline block
+  the leak.
+
+Both builders take the secret byte as a parameter so trace-equivalence tests
+can diff runs across secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+
+PROBE_LINE_BYTES = 64
+ATTACK_BASE = 0x400000
+
+
+@dataclass(frozen=True)
+class AttackProgram:
+    """A victim program plus how to detect the leak in the observer trace."""
+
+    program: Program
+    probe_base: int
+    secret: int
+
+    def leaked_line(self) -> int:
+        """The probe-array cache line that only the secret can select."""
+        return self.probe_base + self.secret * PROBE_LINE_BYTES
+
+    def leaked(self, observer) -> bool:
+        """Did the run transmit the secret over the cache channel?"""
+        return self.leaked_line() in observer.lines_touched()
+
+
+def _slow_copy(b: ProgramBuilder, dst: str, src: str, mults: int = 30) -> None:
+    """dst = src via a long multiply chain (delays whatever consumes dst).
+
+    This widens the speculation window exactly the way real attacks do by
+    evicting the bound/target from the cache.
+    """
+    b.mov(dst, src)
+    b.li("t3", 1)
+    for _ in range(mults):
+        b.mul(dst, dst, "t3")
+
+
+def spectre_v1(secret: int = 0xA7, in_bounds: int = 16,
+               trainings: int = 3) -> AttackProgram:
+    """Bounds-check bypass: ``if (i < N) leak(A[i])`` with i = N transient.
+
+    The index sequence holds ``trainings`` passes over in-bounds indices and
+    ends with the out-of-bounds index N, whose bounds check mispredicts after
+    training.  The bound comparison is delayed by a multiply chain so the
+    transient window is wide enough for both dependent loads.
+    """
+    if not 0 <= secret <= 0xFF:
+        raise ValueError("secret must be a byte")
+    b = ProgramBuilder("spectre-v1", data_base=ATTACK_BASE)
+    array = b.alloc_bytes("victim_array",
+                          [v % 8 for v in range(in_bounds)] + [secret])
+    probe = b.reserve("probe", 256 * PROBE_LINE_BYTES, align=PROBE_LINE_BYTES)
+    indices = []
+    for _ in range(trainings):
+        indices.extend(range(in_bounds))
+    indices.append(in_bounds)        # the out-of-bounds attack access
+    index_base = b.alloc_words("indices", indices)
+
+    b.li("s2", array)
+    b.li("s3", probe)
+    b.li("s4", in_bounds)            # the bound
+    b.li("s5", index_base)
+    b.li("s6", 0)                    # sink
+    # Warm the index array (the attacker controls it and touches it freely),
+    # so the attack iteration's index load is an L1 hit and the bounds check
+    # — delayed by the multiply chain — resolves well after the gadget runs.
+    b.mov("t0", "s5")
+    with b.loop(count=(len(indices) * 8 + 63) // 64 + 1, counter="t1"):
+        b.ld("zero", "t0", 0)
+        b.addi("t0", "t0", 64)
+    with b.loop(count=len(indices), counter="s7"):
+        b.ld("a0", "s5", 0)
+        b.addi("s5", "s5", 8)
+        _slow_copy(b, "t2", "s4")    # slow bound (widens the window)
+        skip = b.forward_label()
+        b.bge("a0", "t2", skip)      # the bounds check
+        b.add("t0", "s2", "a0")
+        b.lb("a1", "t0", 0)          # the (possibly out-of-bounds) access
+        b.slli("a2", "a1", 6)        # select a probe line by the value
+        b.add("a2", "a2", "s3")
+        b.lb("a3", "a2", 0)          # the transmitter
+        b.add("s6", "s6", "a3")
+        b.place(skip)
+    b.halt()
+    return AttackProgram(b.build(), probe, secret)
+
+
+def nonspec_secret(secret: int = 0x5C, trainings: int = 4) -> AttackProgram:
+    """Leak a *non-speculative secret* through a mis-trained indirect branch.
+
+    The victim loads a secret byte into a register and computes over it in
+    constant time (never passing it to a transmitter or branch).  An indirect
+    jump, previously trained to target a transmit gadget, transiently
+    executes the gadget with the secret still in the register.  STT does not
+    block this (the secret is non-speculatively accessed data); SPT does.
+    """
+    if not 0 <= secret <= 0xFF:
+        raise ValueError("secret must be a byte")
+    b = ProgramBuilder("nonspec-secret", data_base=ATTACK_BASE)
+    probe = b.reserve("probe", 256 * PROBE_LINE_BYTES, align=PROBE_LINE_BYTES)
+    # Per-call-site state: which handler the polymorphic call dispatches to
+    # and which byte the victim computes over.  The first ``trainings``
+    # entries call the (harmless-looking) gadget with a public zero byte;
+    # the final entry carries the real secret and dispatches to `legit`.
+    value_bytes = b.alloc_bytes("values", [0] * trainings + [secret])
+
+    gadget = b.forward_label("gadget")
+    legit = b.forward_label("legit")
+    done = b.forward_label("done")
+
+    b.li("s3", probe)
+    b.li("s4", value_bytes)
+    b.li("s5", 0)                     # target-table cursor (filled below)
+    b.li("s9", 0)                     # sink
+    calls = trainings + 1
+    with b.loop(count=calls, counter="s7"):
+        # The byte the victim holds in a register; during the final call this
+        # is the secret, loaded and retired *non-speculatively*.
+        b.add("t0", "s4", "s5")
+        b.lb("s6", "t0", 0)
+        # Constant-time computation over the byte (never leaks it).
+        b.xori("s8", "s6", 0x3C)
+        b.add("s8", "s8", "s8")
+        b.xor("s8", "s8", "s6")
+        # Dispatch target: the gadget while training, `legit` on the last
+        # call.  A multiply chain delays resolution so the mispredicted
+        # transient gadget has a wide window.
+        b.add("t1", "s5", "zero")
+        is_last = b.forward_label()
+        pick_done = b.forward_label()
+        b.li("t4", trainings)
+        b.beq("s5", "t4", is_last)
+        b.li("t1", "gadget")
+        b.jal(0, pick_done)
+        b.place(is_last)
+        b.li("t1", "legit")
+        b.place(pick_done)
+        _slow_copy(b, "t2", "t1")
+        b.jalr("ra", "t2", 0)         # the polymorphic call site
+        b.addi("s5", "s5", 1)
+    b.jal(0, done)
+
+    b.place(gadget)
+    # transmit(s6): select a probe line by the register value and load it.
+    b.slli("a2", "s6", 6)
+    b.add("a2", "a2", "s3")
+    b.lb("a3", "a2", 0)
+    b.add("s9", "s9", "a3")
+    b.jalr(0, "ra", 0)                # return to the call site
+
+    b.place(legit)
+    b.addi("s8", "s8", 1)
+    b.jalr(0, "ra", 0)
+
+    b.place(done)
+    b.halt()
+    return AttackProgram(b.build(), probe, secret)

@@ -1,0 +1,92 @@
+"""Attacker observation model.
+
+The observer records everything a microarchitectural attacker could possibly
+see, as a strict superset of the channels enumerated in Section 2.1 of the
+paper:
+
+* every cache access issued by a load (including transient, doomed-to-squash
+  loads — the Spectre channel), with its cycle, line address and hit level;
+* every store address computation and retirement-time cache write;
+* every branch-predictor update (resolution effects, the implicit channel);
+* every squash, with its cycle;
+* total execution time.
+
+Security tests assert *trace equivalence*: for a program whose secret is a
+non-speculative secret, the full observer trace must be identical across
+secret values under every secure configuration.  This is stronger than the
+paper's penetration test (which checks a specific exfiltration gadget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One attacker-visible event."""
+
+    cycle: int
+    kind: str          # "load", "store-addr", "store-write", "bp-update", "squash"
+    value: int         # line address, branch pc, ...
+    detail: str = ""   # hit level / taken-ness
+
+
+class Observer:
+    """Accumulates attacker-visible events during one simulation."""
+
+    def __init__(self, record_cycles: bool = True):
+        self.record_cycles = record_cycles
+        self.events: list[Observation] = []
+
+    def _cycle(self, cycle: int) -> int:
+        return cycle if self.record_cycles else 0
+
+    def load_access(self, cycle: int, line: int, level: str) -> None:
+        self.events.append(Observation(self._cycle(cycle), "load", line, level))
+
+    def store_address(self, cycle: int, line: int) -> None:
+        self.events.append(Observation(self._cycle(cycle), "store-addr", line))
+
+    def store_write(self, cycle: int, line: int, level: str) -> None:
+        self.events.append(Observation(self._cycle(cycle), "store-write", line, level))
+
+    def predictor_update(self, cycle: int, pc: int, taken: bool) -> None:
+        self.events.append(Observation(
+            self._cycle(cycle), "bp-update", pc, "T" if taken else "N"))
+
+    def squash(self, cycle: int, pc: int) -> None:
+        self.events.append(Observation(self._cycle(cycle), "squash", pc))
+
+    # ------------------------------------------------------------- analysis
+    def lines_touched(self, kind: Optional[str] = None) -> set:
+        """Set of cache lines appearing in the trace (Flush+Reload view)."""
+        kinds = {"load", "store-write"} if kind is None else {kind}
+        return {e.value for e in self.events if e.kind in kinds}
+
+    def trace(self) -> tuple:
+        """The full trace as a hashable tuple (for equality comparisons)."""
+        return tuple(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def traces_equal(a: Observer, b: Observer) -> bool:
+    """Whether two runs are indistinguishable to the attacker."""
+    return a.trace() == b.trace()
+
+
+def differing_events(a: Observer, b: Observer, limit: int = 10) -> list:
+    """First few positions where two traces diverge (diagnostics)."""
+    differences = []
+    for index, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if ea != eb:
+            differences.append((index, ea, eb))
+            if len(differences) >= limit:
+                return differences
+    if len(a.events) != len(b.events):
+        differences.append((min(len(a.events), len(b.events)), "length",
+                            (len(a.events), len(b.events))))
+    return differences

@@ -1,0 +1,11 @@
+"""Workloads: SPEC-like kernels, constant-time crypto, random programs."""
+
+from repro.workloads.registry import (CATEGORY_CT, CATEGORY_SPEC, WORKLOADS,
+                                      Workload, ct_workloads, get,
+                                      spec_workloads)
+from repro.workloads.random_programs import RandomProgramConfig, random_program
+
+__all__ = [
+    "CATEGORY_CT", "CATEGORY_SPEC", "WORKLOADS", "Workload", "ct_workloads",
+    "get", "spec_workloads", "RandomProgramConfig", "random_program",
+]

@@ -1,0 +1,85 @@
+"""Shared helpers for workload kernels."""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable
+
+from repro.isa.builder import ProgramBuilder
+
+MASK32 = 0xFFFFFFFF
+
+
+def data_rng(name: str) -> random.Random:
+    """Deterministic per-workload RNG for initial data images.
+
+    Uses a stable hash (not ``hash()``, which is salted per process by
+    PYTHONHASHSEED) so workloads are bit-identical across runs and machines.
+    """
+    return random.Random(zlib.crc32(name.encode()))
+
+
+def emit_min_branchless(b: ProgramBuilder, dst: str, a: str, c: str,
+                        scratch1: str = "t4", scratch2: str = "t5") -> None:
+    """dst = min(a, c) without branches: m = -(a<c); dst = c ^ ((a^c) & m)."""
+    b.slt(scratch1, a, c)
+    b.sub(scratch1, "zero", scratch1)        # all-ones if a < c
+    b.xor(scratch2, a, c)
+    b.emit("AND", rd=scratch2, rs1=scratch2, rs2=scratch1)
+    b.xor(dst, c, scratch2)
+
+
+def emit_rotl32(b: ProgramBuilder, dst: str, src: str, amount: int,
+                scratch: str = "t4") -> None:
+    """32-bit rotate-left by a constant, branch-free."""
+    amount %= 32
+    b.slli(scratch, src, amount)
+    b.srli(dst, src, 32 - amount)
+    b.emit("OR", rd=dst, rs1=dst, rs2=scratch)
+    b.andi(dst, dst, MASK32)
+
+
+def emit_abs_diff(b: ProgramBuilder, dst: str, a: str, c: str,
+                  scratch: str = "t4") -> None:
+    """dst = |a - c| branch-free: d = a-c; m = -(d<0); dst = (d^m) - m."""
+    b.sub(dst, a, c)
+    b.slti(scratch, dst, 0)
+    b.sub(scratch, "zero", scratch)
+    b.xor(dst, dst, scratch)
+    b.sub(dst, dst, scratch)
+
+
+def emit_spill(b: ProgramBuilder, regs: list, stack_reg: str = "sp") -> None:
+    """Spill registers to the stack, as a compiled prologue would.
+
+    Spilled public values (array base pointers etc.) are what the shadow L1
+    is designed to keep public across the memory round-trip: without it,
+    every reload of a spilled pointer is tainted and the loads it feeds are
+    delayed until the visibility point.
+    """
+    for index, reg in enumerate(regs):
+        b.sd(reg, stack_reg, index * 8)
+
+
+def emit_reload(b: ProgramBuilder, regs: list, stack_reg: str = "sp") -> None:
+    """Reload previously spilled registers (epilogue)."""
+    for index, reg in enumerate(regs):
+        b.ld(reg, stack_reg, index * 8)
+
+
+def setup_stack(b: ProgramBuilder, size_bytes: int = 128) -> int:
+    """Reserve a stack area and point ``sp`` at it; returns the address."""
+    address = b.reserve("stack", size_bytes)
+    b.li("sp", address)
+    return address
+
+
+def checksum_and_halt(b: ProgramBuilder, regs: list, out_address: int = 0x300) -> None:
+    """Fold live registers into one checksum word, store it, halt."""
+    b.li("s11", 0)
+    for reg in regs:
+        b.add("s11", "s11", reg)
+    b.li("t4", out_address)
+    b.sd("s11", "t4", 0)
+    b.halt()

@@ -1,0 +1,84 @@
+"""Bitsliced AES-style round kernel (constant-time, after ctaes).
+
+Bitsliced AES represents the state as eight bit-planes and evaluates the
+S-box as a boolean circuit of AND/XOR/OR/NOT gates — no table lookups, no
+secret-dependent addresses, no branches.  This kernel implements a
+representative bitsliced round: a gate-circuit non-linear layer over eight
+plane registers, a ShiftRows-flavoured rotation of each plane, a
+MixColumns-flavoured XOR diffusion, and AddRoundKey from in-register round
+keys.  The plaintext and key planes are secret; the ciphertext is stored to
+a public buffer.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import data_rng
+
+BASE = 0x340000
+OUT_BASE = BASE + 0x1000
+
+PLANES = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"]
+KEYS = ["s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"]
+
+# A representative bitsliced S-box segment: (dst, op, src1, src2) over plane
+# indices; dst accumulates via XOR with the gate result (t-registers used as
+# temporaries).  Modeled on the opening share/multiply structure of ctaes.
+SBOX_GATES = [
+    (0, "XOR", 3, 5), (1, "XOR", 0, 6), (2, "AND", 1, 4), (3, "XOR", 2, 7),
+    (4, "OR", 0, 5), (5, "XOR", 4, 1), (6, "AND", 3, 2), (7, "XOR", 6, 0),
+    (1, "AND", 7, 5), (2, "XOR", 1, 3), (0, "OR", 2, 6), (3, "XOR", 0, 4),
+    (5, "AND", 3, 1), (6, "XOR", 5, 7), (4, "XOR", 6, 2), (7, "AND", 4, 0),
+]
+
+
+def _emit_sbox(b: ProgramBuilder) -> None:
+    for dst, op, s1, s2 in SBOX_GATES:
+        b.emit(op, rd="t0", rs1=PLANES[s1], rs2=PLANES[s2])
+        b.xor(PLANES[dst], PLANES[dst], "t0")
+    # NOT gates on two planes (the affine part of the real S-box).
+    b.emit("NOT", rd=PLANES[1], rs1=PLANES[1])
+    b.emit("NOT", rd=PLANES[6], rs1=PLANES[6])
+
+
+def _emit_shiftrows(b: ProgramBuilder) -> None:
+    for index, plane in enumerate(PLANES):
+        if index % 4:
+            b.rotli(plane, plane, 16 * (index % 4))
+
+
+def _emit_mixcolumns(b: ProgramBuilder) -> None:
+    for index, plane in enumerate(PLANES):
+        neighbour = PLANES[(index + 1) % 8]
+        b.rotli("t0", neighbour, 8)
+        b.xor(plane, plane, "t0")
+
+
+def build(scale: int = 1, rounds: int = 4, key_planes=None) -> Program:
+    """Build the bitsliced kernel; ``key_planes`` overrides the secret key."""
+    rng = data_rng("aes")
+    b = ProgramBuilder("aes-bitslice", data_base=BASE)
+    plaintext = [rng.getrandbits(64) for _ in range(8)]
+    key = list(key_planes) if key_planes is not None else \
+        [rng.getrandbits(64) for _ in range(8)]
+    b.alloc_words("planes_in", plaintext + key)
+
+    b.li("t5", BASE)
+    b.li("t6", OUT_BASE)
+    with b.loop(count=2 * scale, counter="t4"):
+        for index, reg in enumerate(PLANES):
+            b.ld(reg, "t5", index * 8)
+        for index, reg in enumerate(KEYS):
+            b.ld(reg, "t5", (8 + index) * 8)
+        for _ in range(rounds):
+            _emit_sbox(b)
+            _emit_shiftrows(b)
+            _emit_mixcolumns(b)
+            for plane, key_reg in zip(PLANES, KEYS):
+                b.xor(plane, plane, key_reg)     # AddRoundKey
+        for index, reg in enumerate(PLANES):
+            b.sd(reg, "t6", index * 8)
+        b.addi("t6", "t6", 64)
+    b.halt()
+    return b.build()

@@ -1,0 +1,60 @@
+"""djbsort-style constant-time sorting network.
+
+djbsort sorts secret data with a fixed Batcher odd-even merge network of
+branch-free compare-exchange steps (min/max computed arithmetically), so the
+memory access pattern and control flow are identical for every input.  This
+kernel sorts a 16-element secret array in place; the sequence of addresses
+is a compile-time constant.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import data_rng, emit_min_branchless
+
+BASE = 0x380000
+N = 16
+
+
+def batcher_pairs(n: int) -> list:
+    """Compare-exchange pairs of Batcher's odd-even merge sort for size n."""
+    pairs = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(0, min(k, n - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        pairs.append((i + j, i + j + k))
+            k //= 2
+        p *= 2
+    return pairs
+
+
+def build(scale: int = 1, values=None) -> Program:
+    """Build a constant-time sorter; ``values`` overrides the secret array."""
+    rng = data_rng("djbsort")
+    b = ProgramBuilder("djbsort", data_base=BASE)
+    data = list(values) if values is not None else \
+        [rng.getrandbits(32) for _ in range(N)]
+    if len(data) != N:
+        raise ValueError(f"expected {N} values")
+    b.alloc_words("array", data)
+
+    pairs = batcher_pairs(N)
+    b.li("s2", BASE)
+    with b.loop(count=2 * scale, counter="t6"):
+        for i, j in pairs:
+            b.ld("a0", "s2", i * 8)
+            b.ld("a1", "s2", j * 8)
+            # lo = min(a0, a1); hi = a0 ^ a1 ^ lo  (branch-free exchange).
+            emit_min_branchless(b, "a2", "a0", "a1", scratch1="t0",
+                                scratch2="t1")
+            b.xor("a3", "a0", "a1")
+            b.xor("a3", "a3", "a2")
+            b.sd("a2", "s2", i * 8)
+            b.sd("a3", "s2", j * 8)
+    b.halt()
+    return b.build()

@@ -1,0 +1,46 @@
+"""bwaves-like kernel: streaming triad over an L1-exceeding array.
+
+SPEC's 503.bwaves (blast-wave CFD) streams through large arrays doing dense
+arithmetic.  The kernel computes ``c[i] = a[i]*k + b[i] - c[i]`` over arrays
+bigger than the L1D, so every iteration misses into L2 — a bandwidth-bound,
+branch-light workload whose untaint traffic is almost purely forward events
+(the paper's Figure 8 shows bwaves/fotonik dominated by forward untaints).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x100000
+N = 6 * 1024          # 3 arrays x 6K words x 8B = 144 KB, exceeds the 32K L1
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("bwaves")
+    b = ProgramBuilder("bwaves", data_base=BASE)
+    a_base = b.alloc_words("a", (rng.getrandbits(32) for _ in range(N)))
+    b_base = b.alloc_words("b", (rng.getrandbits(32) for _ in range(N)))
+    c_base = b.reserve("c", N * 8)
+
+    b.li("s2", a_base)
+    b.li("s3", b_base)
+    b.li("s4", c_base)
+    b.li("s5", 3)                      # k
+    with b.loop(count=1 * scale, counter="s6"):
+        b.li("a0", 0)
+        with b.loop(count=N // 8, counter="s7"):   # stride through lines
+            b.add("t0", "a0", "s2")
+            b.ld("a1", "t0", 0)
+            b.add("t1", "a0", "s3")
+            b.ld("a2", "t1", 0)
+            b.add("t2", "a0", "s4")
+            b.ld("a3", "t2", 0)
+            b.mul("a1", "a1", "s5")
+            b.add("a1", "a1", "a2")
+            b.sub("a1", "a1", "a3")
+            b.sd("a1", "t2", 0)
+            b.addi("a0", "a0", 64)     # one cache line per iteration
+    checksum_and_halt(b, ["a1", "a0"])
+    return b.build()

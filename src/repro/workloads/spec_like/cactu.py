@@ -1,0 +1,50 @@
+"""cactuBSSN-like kernel: 1-D stencil sweep (numerical relativity flavour).
+
+SPEC's 507.cactuBSSN evaluates finite-difference stencils over grid arrays.
+The kernel applies a 5-point stencil with integer weights over a grid larger
+than the L1D, writing a second array — spatially local loads with reuse
+across neighbouring iterations, no data-dependent branches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x140000
+N = 4 * 1024
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("cactu")
+    b = ProgramBuilder("cactu", data_base=BASE)
+    grid_base = b.alloc_words("grid", (rng.getrandbits(24) for _ in range(N)))
+    out_base = b.reserve("out", N * 8)
+
+    b.li("s2", grid_base)
+    b.li("s3", out_base)
+    b.li("s6", 6)                          # centre stencil weight
+    with b.loop(count=1 * scale, counter="s4"):
+        b.li("a0", 16)                     # skip the boundary
+        with b.loop(count=(N - 4) // 4, counter="s5"):
+            b.add("t0", "a0", "s2")
+            b.ld("a1", "t0", -16)
+            b.ld("a2", "t0", -8)
+            b.ld("a3", "t0", 0)
+            b.ld("a4", "t0", 8)
+            b.ld("a5", "t0", 16)
+            # out = a1 - 4*a2 + 6*a3 - 4*a4 + a5 (biharmonic weights).
+            b.slli("t1", "a2", 2)
+            b.sub("a1", "a1", "t1")
+            b.mul("t1", "a3", "s6")        # s6 set below per sweep
+            b.add("a1", "a1", "t1")
+            b.slli("t1", "a4", 2)
+            b.sub("a1", "a1", "t1")
+            b.add("a1", "a1", "a5")
+            b.add("t2", "a0", "s3")
+            b.sd("a1", "t2", 0)
+            b.addi("a0", "a0", 32)         # 4 words per iteration
+        b.addi("s6", "s6", 1)
+    checksum_and_halt(b, ["a1", "s6"])
+    return b.build()

@@ -1,0 +1,63 @@
+"""deepsjeng-like kernel: bitboard move generation and evaluation.
+
+SPEC's 531.deepsjeng (chess) manipulates 64-bit bitboards: shifts, masks,
+bit-extraction loops and small-table lookups, with branches on extracted
+bits.  The kernel generates "attack sets" by shifting piece boards, walks the
+set bits (data-dependent loop exits — frequent mispredicts) and scores them
+through a lookup table.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x70000
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("deepsjeng")
+    b = ProgramBuilder("deepsjeng", data_base=BASE)
+    boards = [rng.getrandbits(64) for _ in range(32)]
+    boards_base = b.alloc_words("boards", boards)
+    score_table = [rng.randint(-50, 50) & ((1 << 64) - 1) for _ in range(64)]
+    table_base = b.alloc_words("scores", score_table)
+
+    b.li("s2", boards_base)
+    b.li("s3", table_base)
+    b.li("s4", 0)                    # total score
+    with b.loop(count=12 * scale, counter="s5"):
+        b.li("a0", 0)                # board index
+        with b.loop(count=16, counter="s6"):
+            b.slli("t0", "a0", 3)
+            b.add("t0", "t0", "s2")
+            b.ld("a1", "t0", 0)          # piece board
+            # Attack set: north-east fill flavoured shifting.
+            b.slli("a2", "a1", 9)
+            b.srli("a3", "a1", 7)
+            b.xor("a2", "a2", "a3")
+            b.emit("OR", rd="a2", rs1="a2", rs2="a1")
+            # Walk up to 6 set bits (LSB extraction, branchy exit).
+            b.li("a4", 0)                # bit position accumulator
+            with b.loop(count=6, counter="s7"):
+                empty = b.forward_label()
+                b.beq("a2", "zero", empty)       # data-dependent exit
+                b.sub("t1", "zero", "a2")
+                b.emit("AND", rd="t1", rs1="t1", rs2="a2")   # lowest set bit
+                b.xor("a2", "a2", "t1")                      # clear it
+                # Fold the isolated bit into a 0-63 table index.
+                b.srli("t2", "t1", 17)
+                b.xor("t1", "t1", "t2")
+                b.mul("t1", "t1", "a0")
+                b.andi("t1", "t1", 63)
+                b.slli("t1", "t1", 3)
+                b.add("t1", "t1", "s3")
+                b.ld("t3", "t1", 0)              # score lookup
+                b.add("s4", "s4", "t3")
+                b.addi("a4", "a4", 1)
+                b.place(empty)
+            b.addi("a0", "a0", 1)
+            b.andi("a0", "a0", 31)
+    checksum_and_halt(b, ["s4", "a4"])
+    return b.build()

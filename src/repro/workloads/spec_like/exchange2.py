@@ -1,0 +1,63 @@
+"""exchange2-like kernel: nested counted loops permuting small arrays.
+
+SPEC's 548.exchange2 (Fortran Sudoku solver) is almost pure integer compute
+over tiny in-cache arrays with deeply nested counted loops and very
+predictable control flow.  The kernel permutes digit blocks in place —
+plenty of store-then-reload within an L1-resident working set.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt
+
+BASE = 0x90000
+GRID = 81
+
+
+def build(scale: int = 1) -> Program:
+    b = ProgramBuilder("exchange2", data_base=BASE)
+    grid_base = b.reserve("grid", GRID * 8)
+
+    b.li("s2", grid_base)
+    # Generate the grid in-program from an LCG, as the solver builds its own
+    # candidate boards.  The values are computed from immediates, so the grid
+    # is public data under SPT from the first store on.
+    b.li("t0", 11)                      # LCG state
+    b.mov("t1", "s2")
+    with b.loop(count=GRID, counter="t2"):
+        b.mul("t0", "t0", "t0")
+        b.addi("t0", "t0", 0x2545)
+        b.srli("t3", "t0", 5)
+        b.andi("t3", "t3", 7)
+        b.addi("t3", "t3", 1)
+        b.sd("t3", "t1", 0)
+        b.addi("t1", "t1", 8)
+    b.li("s3", 0)                       # checksum
+    with b.loop(count=10 * scale, counter="s4"):
+        # Swap rows r and r+3 element-wise (block exchange).
+        b.li("a0", 0)                   # column
+        with b.loop(count=9, counter="s5"):
+            b.slli("t0", "a0", 3)
+            b.add("t0", "t0", "s2")
+            b.ld("a1", "t0", 0)             # row 0 element
+            b.ld("a2", "t0", 27 * 8)        # row 3 element
+            b.sd("a2", "t0", 0)
+            b.sd("a1", "t0", 27 * 8)
+            b.add("s3", "s3", "a1")
+            b.addi("a0", "a0", 1)
+        # Rotate a column through registers (reload what was just stored).
+        b.li("a0", 0)
+        with b.loop(count=8, counter="s5"):
+            b.slli("t0", "a0", 3)
+            b.add("t0", "t0", "s2")
+            b.ld("a1", "t0", 0)
+            b.ld("a2", "t0", 8)
+            b.add("a3", "a1", "a2")
+            b.andi("a3", "a3", 15)
+            b.addi("a3", "a3", 1)
+            b.sd("a3", "t0", 0)
+            b.addi("a0", "a0", 1)
+    checksum_and_halt(b, ["s3", "a3"])
+    return b.build()

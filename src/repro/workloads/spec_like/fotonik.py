@@ -1,0 +1,47 @@
+"""fotonik3d-like kernel: FDTD field update stream.
+
+SPEC's 549.fotonik3d updates electromagnetic field arrays with simple
+element-wise expressions over large grids — a pure streaming kernel whose
+untaint events are overwhelmingly forward propagation (Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import (checksum_and_halt, data_rng,
+                                    emit_reload, emit_spill, setup_stack)
+
+BASE = 0x240000
+N = 6 * 1024
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("fotonik")
+    b = ProgramBuilder("fotonik", data_base=BASE)
+    e_base = b.alloc_words("efield", (rng.getrandbits(30) for _ in range(N)))
+    h_base = b.alloc_words("hfield", (rng.getrandbits(30) for _ in range(N)))
+
+    setup_stack(b)
+    b.li("s2", e_base)
+    b.li("s3", h_base)
+    b.li("s4", 7)                    # coupling coefficient
+    emit_spill(b, ["s2", "s3"])      # field pointers spilled by the caller
+    with b.loop(count=1 * scale, counter="s5"):
+        b.li("a0", 0)
+        with b.loop(count=N // 16 // 4, counter="s7"):   # per-chunk "call"
+            emit_reload(b, ["s2", "s3"])
+            with b.loop(count=16, counter="s6"):
+                b.add("t0", "a0", "s2")
+                b.add("t1", "a0", "s3")
+                b.ld("a1", "t0", 0)          # E
+                b.ld("a2", "t1", 0)          # H
+                b.ld("a3", "t1", 8)          # H neighbour
+                b.sub("a4", "a3", "a2")      # curl term
+                b.mul("a4", "a4", "s4")
+                b.srli("a4", "a4", 3)
+                b.add("a1", "a1", "a4")
+                b.sd("a1", "t0", 0)          # E update
+                b.addi("a0", "a0", 8)        # dense word stride
+    checksum_and_halt(b, ["a1", "a0"])
+    return b.build()

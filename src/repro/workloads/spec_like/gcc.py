@@ -1,0 +1,90 @@
+"""gcc-like kernel: IR-walk with opcode dispatch and helper calls.
+
+SPEC's 502.gcc interleaves table-driven dispatch, short helper functions and
+irregular memory access.  The kernel walks a buffer of (opcode, operand)
+pairs, dispatches through a chain of compare-and-branch cases (some of which
+call helpers via jal/jalr, exercising the RAS), and updates a small symbol
+table in memory.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x30000
+OPS = 256
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("gcc")
+    b = ProgramBuilder("gcc", data_base=BASE)
+    stream = []
+    for _ in range(OPS):
+        stream.append(rng.randint(0, 3))        # opcode
+        stream.append(rng.getrandbits(10))      # operand
+    stream_base = b.alloc_words("stream", stream)
+    symtab_base = b.reserve("symtab", 64 * 8)
+
+    helper_fold = b.forward_label("fold")
+    helper_emit = b.forward_label("emit")
+    end = b.forward_label("end")
+
+    b.li("s2", stream_base)
+    b.li("s3", symtab_base)
+    b.li("s4", 0)              # accumulator
+    with b.loop(count=140 * scale, counter="s5"):
+        b.ld("a0", "s2", 0)                       # opcode
+        b.ld("a1", "s2", 8)                       # operand
+        b.addi("s2", "s2", 16)
+        case1 = b.forward_label()
+        case2 = b.forward_label()
+        case3 = b.forward_label()
+        join = b.forward_label()
+        b.li("t0", 1)
+        b.beq("a0", "t0", case1)
+        b.li("t0", 2)
+        b.beq("a0", "t0", case2)
+        b.li("t0", 3)
+        b.beq("a0", "t0", case3)
+        # Case 0: constant fold via helper call.
+        b.jal("ra", helper_fold)
+        b.jal(0, join)
+        b.place(case1)                            # case 1: symbol store
+        b.andi("t1", "a1", 63)
+        b.slli("t1", "t1", 3)
+        b.add("t1", "t1", "s3")
+        b.sd("a1", "t1", 0)
+        b.jal(0, join)
+        b.place(case2)                            # case 2: symbol load
+        b.andi("t1", "a1", 63)
+        b.slli("t1", "t1", 3)
+        b.add("t1", "t1", "s3")
+        b.ld("t2", "t1", 0)
+        b.add("s4", "s4", "t2")
+        b.jal(0, join)
+        b.place(case3)                            # case 3: emit via helper
+        b.jal("ra", helper_emit)
+        b.place(join)
+        # Wrap the stream pointer.
+        wrap = b.forward_label()
+        b.li("t0", stream_base + OPS * 16)
+        b.blt("s2", "t0", wrap)
+        b.li("s2", stream_base)
+        b.place(wrap)
+    b.jal(0, end)
+
+    b.place(helper_fold)
+    b.add("s4", "s4", "a1")
+    b.xori("s4", "s4", 0x155)
+    b.jalr(0, "ra", 0)
+
+    b.place(helper_emit)
+    b.slli("t3", "a1", 1)
+    b.add("s4", "s4", "t3")
+    b.jalr(0, "ra", 0)
+
+    b.place(end)
+    checksum_and_halt(b, ["s4", "s2"])
+    return b.build()

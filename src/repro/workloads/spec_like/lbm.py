@@ -1,0 +1,44 @@
+"""lbm-like kernel: lattice-Boltzmann collide-and-stream update.
+
+SPEC's 519.lbm performs read-modify-write sweeps over distribution arrays
+with neighbour gathers.  The kernel reads three neighbouring cells, relaxes
+them toward their average and streams the results back — heavy load/store
+traffic with full-line reuse, no data-dependent branching.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x280000
+N = 4 * 1024
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("lbm")
+    b = ProgramBuilder("lbm", data_base=BASE)
+    cells_base = b.alloc_words("cells", (rng.getrandbits(24) for _ in range(N)))
+
+    b.li("s2", cells_base)
+    with b.loop(count=1 * scale, counter="s3"):
+        b.li("a0", 8)
+        with b.loop(count=(N - 2) // 4, counter="s4"):
+            b.add("t0", "a0", "s2")
+            b.ld("a1", "t0", -8)
+            b.ld("a2", "t0", 0)
+            b.ld("a3", "t0", 8)
+            # rho = (a1+a2+a3); relax each toward rho/3.
+            b.add("a4", "a1", "a2")
+            b.add("a4", "a4", "a3")
+            b.srli("a5", "a4", 2)        # ~rho/4 as integer relaxation
+            b.add("a2", "a2", "a5")
+            b.srli("a2", "a2", 1)
+            b.sd("a2", "t0", 0)
+            b.add("a1", "a1", "a5")
+            b.srli("a1", "a1", 1)
+            b.sd("a1", "t0", -8)
+            b.addi("a0", "a0", 32)
+    checksum_and_halt(b, ["a2", "a4"])
+    return b.build()

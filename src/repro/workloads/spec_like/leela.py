@@ -1,0 +1,58 @@
+"""leela-like kernel: Go board scanning with liberty counting.
+
+SPEC's 541.leela evaluates Go positions: scanning board arrays, testing
+neighbour cells (branches on loaded bytes) and tallying liberties.  The
+kernel sweeps a 19x19-ish board stored as bytes, loads the four neighbours
+of every stone and counts empties — byte loads with short-range reuse and
+moderately predictable branches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x80000
+DIM = 16               # padded board, power of two for cheap wrapping
+CELLS = DIM * DIM
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("leela")
+    b = ProgramBuilder("leela", data_base=BASE)
+    board = [rng.choice([0, 0, 1, 2]) for _ in range(CELLS)]
+    board_base = b.alloc_bytes("board", board)
+
+    b.li("s2", board_base)
+    b.li("s3", 0)          # liberties
+    b.li("s4", 0)          # stones
+    with b.loop(count=4 * scale, counter="s5"):
+        b.li("a0", DIM + 1)                    # start inside the padding
+        with b.loop(count=CELLS - 2 * DIM - 2, counter="s6"):
+            b.add("t0", "a0", "s2")
+            b.lb("a1", "t0", 0)                # cell
+            empty = b.forward_label()
+            b.beq("a1", "zero", empty)         # skip empty points
+            b.addi("s4", "s4", 1)
+            # Four neighbours; count empties branch-free via SLTU.
+            b.lb("a2", "t0", 1)
+            b.sltu("t1", "zero", "a2")
+            b.xori("t1", "t1", 1)
+            b.add("s3", "s3", "t1")
+            b.lb("a2", "t0", -1)
+            b.sltu("t1", "zero", "a2")
+            b.xori("t1", "t1", 1)
+            b.add("s3", "s3", "t1")
+            b.lb("a2", "t0", DIM)
+            b.sltu("t1", "zero", "a2")
+            b.xori("t1", "t1", 1)
+            b.add("s3", "s3", "t1")
+            b.lb("a2", "t0", -DIM)
+            b.sltu("t1", "zero", "a2")
+            b.xori("t1", "t1", 1)
+            b.add("s3", "s3", "t1")
+            b.place(empty)
+            b.addi("a0", "a0", 1)
+    checksum_and_halt(b, ["s3", "s4"])
+    return b.build()

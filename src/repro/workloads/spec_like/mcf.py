@@ -1,0 +1,52 @@
+"""mcf-like kernel: pointer chasing with data-dependent cost branches.
+
+SPEC's 505.mcf is a network-simplex solver dominated by chasing arc/node
+pointers and comparing costs.  The kernel walks a shuffled singly-linked list
+(every load address depends on the previous load's data — the worst case for
+delayed transmitters) and conditionally accumulates costs, giving it both
+dependent-load chains and hard-to-predict branches.  The paper singles out
+mcf as the benchmark where *backward* untainting matters most.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+NODES = 512
+NODE_BYTES = 16     # [next_ptr, cost]
+BASE = 0x10000
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("mcf")
+    b = ProgramBuilder("mcf", data_base=BASE)
+    order = list(range(1, NODES)) + [0]
+    rng.shuffle(order[:-1])
+    words = []
+    for index in range(NODES):
+        # Nodes hold *byte offsets* from the arena base, as real mcf holds
+        # indices: the chase must add the base (an invertible ADD), which is
+        # what SPT's backward rule exploits — declassifying the address
+        # infers the loaded offset.
+        words.append(order[index] * NODE_BYTES)              # next offset
+        words.append(rng.randint(0, 1000))                   # cost
+    b.alloc_words("nodes", words)
+
+    b.li("s0", BASE)        # arena base (public)
+    b.mov("a0", "s0")       # current node pointer
+    b.li("a1", 0)           # accumulated cost
+    b.li("a2", 500)         # pivot
+    b.li("a3", 0)           # count of expensive arcs
+    with b.loop(count=220 * scale, counter="s2"):
+        b.ld("a4", "a0", 8)              # cost (depends on pointer chase)
+        b.ld("a5", "a0", 0)              # next offset: dependent load
+        b.add("a0", "a5", "s0")          # pointer = base + offset
+        skip = b.forward_label()
+        b.blt("a4", "a2", skip)          # data-dependent branch (mispredicts)
+        b.add("a1", "a1", "a4")
+        b.addi("a3", "a3", 1)
+        b.place(skip)
+    checksum_and_halt(b, ["a0", "a1", "a3"])
+    return b.build()

@@ -1,0 +1,62 @@
+"""namd-like kernel: compute-dense pairwise interaction loop.
+
+SPEC's 508.namd computes molecular-dynamics pair forces: for each particle
+pair, a handful of loads feed a long chain of multiplies and adds.  The
+kernel has a very high arithmetic-to-memory ratio and predictable control
+flow; its untaint events are almost entirely forward propagation.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import (checksum_and_halt, data_rng,
+                                    emit_reload, emit_spill, setup_stack)
+
+BASE = 0x180000
+PARTICLES = 64
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("namd")
+    b = ProgramBuilder("namd", data_base=BASE)
+    coords = []
+    for _ in range(PARTICLES):
+        coords.extend((rng.randint(1, 1 << 20), rng.randint(1, 1 << 20),
+                       rng.randint(1, 1 << 20)))
+    coords_base = b.alloc_words("coords", coords)
+
+    setup_stack(b)
+    b.li("s2", coords_base)
+    b.li("s3", 0)                # force accumulator
+    emit_spill(b, ["s2"])        # prologue spill of the base pointer
+    with b.loop(count=2 * scale, counter="s4"):
+        emit_reload(b, ["s2"])   # reload across the "call" boundary
+        b.li("a0", 0)            # particle i offset
+        with b.loop(count=PARTICLES // 2, counter="s5"):
+            b.add("t0", "a0", "s2")
+            b.ld("a1", "t0", 0)
+            b.ld("a2", "t0", 8)
+            b.ld("a3", "t0", 16)
+            b.ld("a4", "t0", 24)     # next particle x
+            b.ld("a5", "t0", 32)
+            b.ld("a6", "t0", 40)
+            # dx,dy,dz then r2 = dx*dx+dy*dy+dz*dz and a force-ish chain.
+            b.sub("a1", "a1", "a4")
+            b.sub("a2", "a2", "a5")
+            b.sub("a3", "a3", "a6")
+            b.mul("a1", "a1", "a1")
+            b.mul("a2", "a2", "a2")
+            b.mul("a3", "a3", "a3")
+            b.add("a1", "a1", "a2")
+            b.add("a1", "a1", "a3")
+            b.srli("a2", "a1", 9)
+            b.mul("a2", "a2", "a2")
+            b.srli("a2", "a2", 13)
+            b.add("a2", "a2", "a1")
+            b.mul("a2", "a2", "a2")
+            b.srli("a2", "a2", 21)
+            b.add("s3", "s3", "a2")
+            b.addi("a0", "a0", 48)
+    checksum_and_halt(b, ["s3", "a2"])
+    return b.build()

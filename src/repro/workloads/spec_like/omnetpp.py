@@ -1,0 +1,67 @@
+"""omnetpp-like kernel: binary-heap event queue (sift-down loops).
+
+SPEC's 520.omnetpp is a discrete-event simulator dominated by priority-queue
+maintenance.  The kernel repeatedly replaces the heap root with a pseudo-
+random timestamp and sifts it down: each step loads both children, picks the
+smaller (data-dependent branch) and swaps through memory — a dense mix of
+dependent loads, stores, reloads and unpredictable branches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x40000
+HEAP = 128
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("omnetpp")
+    b = ProgramBuilder("omnetpp", data_base=BASE)
+    heap = sorted(rng.getrandbits(20) for _ in range(HEAP))
+    heap_base = b.alloc_words("heap", heap)
+
+    b.li("s2", heap_base)
+    b.li("s3", 0x9E3779B9)          # LCG-ish state
+    with b.loop(count=40 * scale, counter="s4"):
+        # New root "event time" from a cheap generator.
+        b.mul("s3", "s3", "s3")
+        b.srli("t0", "s3", 11)
+        b.xor("s3", "s3", "t0")
+        b.addi("s3", "s3", 0x3C5)
+        b.andi("a0", "s3", 0xFFFFF)
+        b.sd("a0", "s2", 0)
+        b.li("a1", 0)                # index i
+        with b.loop(count=6, counter="s5"):   # log2(HEAP) sift steps
+            # left = 2i+1, right = 2i+2
+            b.slli("a2", "a1", 1)
+            b.addi("a2", "a2", 1)
+            b.andi("a2", "a2", HEAP - 1)
+            b.slli("t0", "a2", 3)
+            b.add("t0", "t0", "s2")
+            b.ld("a3", "t0", 0)      # left child
+            b.ld("a4", "t0", 8)      # right child
+            # pick smaller child index -> a2, value -> a3
+            use_left = b.forward_label()
+            b.blt("a3", "a4", use_left)
+            b.addi("a2", "a2", 1)
+            b.mov("a3", "a4")
+            b.place(use_left)
+            # parent value
+            b.slli("t1", "a1", 3)
+            b.add("t1", "t1", "s2")
+            b.ld("a5", "t1", 0)
+            done = b.forward_label()
+            b.bge("a3", "a5", done)   # heap property holds
+            # swap parent and child through memory
+            b.andi("a2", "a2", HEAP - 1)
+            b.slli("t2", "a2", 3)
+            b.add("t2", "t2", "s2")
+            b.sd("a5", "t2", 0)
+            b.sd("a3", "t1", 0)
+            b.mov("a1", "a2")
+            b.place(done)
+    checksum_and_halt(b, ["a1", "a3", "s3"])
+    return b.build()

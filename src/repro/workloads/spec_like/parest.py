@@ -1,0 +1,57 @@
+"""parest-like kernel: sparse matrix-vector product (CSR).
+
+SPEC's 510.parest solves PDE-constrained optimisation with sparse linear
+algebra.  The kernel is a CSR SpMV: row-pointer loads, column-index loads
+feeding *indirect* vector loads, multiply-accumulate, result store — the
+classic two-level dependent-load pattern of sparse codes.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x1C0000
+ROWS = 64
+NNZ_PER_ROW = 8
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("parest")
+    b = ProgramBuilder("parest", data_base=BASE)
+    cols, vals = [], []
+    for _ in range(ROWS * NNZ_PER_ROW):
+        cols.append(rng.randrange(ROWS))
+        vals.append(rng.randint(1, 100))
+    cols_base = b.alloc_words("cols", cols)
+    vals_base = b.alloc_words("vals", vals)
+    x_base = b.alloc_words("x", (rng.randint(1, 100) for _ in range(ROWS)))
+    y_base = b.reserve("y", ROWS * 8)
+
+    b.li("s2", cols_base)
+    b.li("s3", vals_base)
+    b.li("s4", x_base)
+    b.li("s5", y_base)
+    with b.loop(count=3 * scale, counter="s6"):
+        b.li("a0", 0)                   # nonzero cursor (bytes)
+        b.li("a1", 0)                   # row index
+        with b.loop(count=ROWS, counter="s7"):
+            b.li("a2", 0)               # row dot product
+            with b.loop(count=NNZ_PER_ROW, counter="t6"):
+                b.add("t0", "a0", "s2")
+                b.ld("a3", "t0", 0)         # column index
+                b.add("t1", "a0", "s3")
+                b.ld("a4", "t1", 0)         # matrix value
+                b.slli("a3", "a3", 3)
+                b.add("a3", "a3", "s4")
+                b.ld("a5", "a3", 0)         # x[col]: indirect load
+                b.mul("a4", "a4", "a5")
+                b.add("a2", "a2", "a4")
+                b.addi("a0", "a0", 8)
+            b.slli("t2", "a1", 3)
+            b.add("t2", "t2", "s5")
+            b.sd("a2", "t2", 0)             # y[row]
+            b.addi("a1", "a1", 1)
+    checksum_and_halt(b, ["a2", "a1"])
+    return b.build()

@@ -1,0 +1,77 @@
+"""povray-like kernel: ray/sphere intersection testing.
+
+SPEC's 511.povray mixes dense arithmetic (dot products, discriminants) with
+branchy hit/miss decisions and per-object state updates in memory.  The
+kernel tests a bundle of rays against a list of spheres: three loads per
+object, a multiply-heavy discriminant, a moderately unpredictable hit branch
+and a hit-record store that later iterations reload.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import (checksum_and_halt, data_rng,
+                                    emit_reload, emit_spill, setup_stack)
+
+BASE = 0x200000
+SPHERES = 32
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("povray")
+    b = ProgramBuilder("povray", data_base=BASE)
+    spheres = []
+    for _ in range(SPHERES):
+        spheres.extend((rng.randint(-500, 500) & ((1 << 64) - 1),
+                        rng.randint(-500, 500) & ((1 << 64) - 1),
+                        rng.randint(10, 100)))
+    spheres_base = b.alloc_words("spheres", spheres)
+    hits_base = b.reserve("hits", SPHERES * 8)
+
+    setup_stack(b)
+    b.li("s2", spheres_base)
+    b.li("s3", hits_base)
+    emit_spill(b, ["s2"])       # spill the object-list pointer
+    # Zero the hit records in-program (public stores -> untainted bytes).
+    b.mov("t0", "s3")
+    with b.loop(count=SPHERES, counter="t1"):
+        b.sd("zero", "t0", 0)
+        b.addi("t0", "t0", 8)
+    b.li("s4", 1)               # ray seed
+    with b.loop(count=8 * scale, counter="s5"):
+        # Ray direction from a little generator.
+        b.mul("s4", "s4", "s4")
+        b.addi("s4", "s4", 0x9E37)
+        b.andi("a0", "s4", 0x3FF)
+        b.srli("a1", "s4", 10)
+        b.andi("a1", "a1", 0x3FF)
+        b.li("a2", 0)           # sphere cursor (bytes)
+        b.li("a3", 0)           # sphere index
+        emit_reload(b, ["a7"])  # object-list pointer reloaded per ray
+        with b.loop(count=SPHERES, counter="s6"):
+            b.add("t0", "a2", "a7")
+            b.ld("a4", "t0", 0)          # cx
+            b.ld("a5", "t0", 8)          # cy
+            b.ld("a6", "t0", 16)         # r
+            # b-coefficient ~ dot(dir, centre); discriminant ~ b^2 - c.
+            b.mul("t1", "a0", "a4")
+            b.mul("t2", "a1", "a5")
+            b.add("t1", "t1", "t2")
+            b.srli("t1", "t1", 8)
+            b.mul("t2", "t1", "t1")
+            b.srli("t2", "t2", 8)
+            b.mul("t3", "a6", "a6")
+            miss = b.forward_label()
+            b.blt("t2", "t3", miss)       # hit test (data-dependent)
+            # Record the hit: increment per-sphere counter.
+            b.slli("t4", "a3", 3)
+            b.add("t4", "t4", "s3")
+            b.ld("t5", "t4", 0)
+            b.addi("t5", "t5", 1)
+            b.sd("t5", "t4", 0)
+            b.place(miss)
+            b.addi("a2", "a2", 24)
+            b.addi("a3", "a3", 1)
+    checksum_and_halt(b, ["t5", "a3"])
+    return b.build()

@@ -1,0 +1,59 @@
+"""x264-like kernel: sum-of-absolute-differences motion search.
+
+SPEC's 525.x264 spends most cycles in SAD/SATD loops: streaming loads from
+two pixel blocks and branch-free absolute-difference accumulation, with an
+outer loop picking the best candidate (one predictable compare per block).
+A bandwidth-bound, easily-predicted workload — the opposite end of the
+spectrum from mcf.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import (checksum_and_halt, data_rng, emit_abs_diff,
+                                    emit_reload, emit_spill, setup_stack)
+
+BASE = 0x60000
+REF_BLOCKS = 8
+BLOCK = 64           # words per block
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("x264")
+    b = ProgramBuilder("x264", data_base=BASE)
+    current = [rng.randint(0, 255) for _ in range(BLOCK)]
+    cur_base = b.alloc_words("current", current)
+    refs = []
+    for _ in range(REF_BLOCKS):
+        refs.extend(rng.randint(0, 255) for _ in range(BLOCK))
+    ref_base = b.alloc_words("refs", refs)
+
+    setup_stack(b)
+    b.li("s2", cur_base)
+    b.li("s6", (1 << 62))        # best SAD
+    emit_spill(b, ["s2"])        # current-block pointer lives on the stack
+    with b.loop(count=2 * scale, counter="s7"):
+        b.li("s3", ref_base)
+        with b.loop(count=REF_BLOCKS, counter="s4"):
+            b.li("a0", 0)            # SAD accumulator
+            emit_reload(b, ["a1"])   # reload the spilled block pointer
+            b.mov("a2", "s3")
+            with b.loop(count=BLOCK // 2, counter="s5"):
+                b.ld("a3", "a1", 0)
+                b.ld("a4", "a2", 0)
+                emit_abs_diff(b, "a5", "a3", "a4")
+                b.add("a0", "a0", "a5")
+                b.ld("a3", "a1", 8)
+                b.ld("a4", "a2", 8)
+                emit_abs_diff(b, "a5", "a3", "a4")
+                b.add("a0", "a0", "a5")
+                b.addi("a1", "a1", 16)
+                b.addi("a2", "a2", 16)
+            keep = b.forward_label()
+            b.bge("a0", "s6", keep)      # mostly predictable compare
+            b.mov("s6", "a0")
+            b.place(keep)
+            b.addi("s3", "s3", BLOCK * 8)
+    checksum_and_halt(b, ["s6", "a0"])
+    return b.build()

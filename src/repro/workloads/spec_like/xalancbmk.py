@@ -1,0 +1,81 @@
+"""xalancbmk-like kernel: binary-search-tree walks with key compares.
+
+SPEC's 523.xalancbmk (XSLT processing) is dominated by DOM-tree traversal.
+The kernel descends a balanced binary tree stored as [key, left, right]
+triples: every step loads a node, compares the search key (branch) and
+follows a pointer — dependent loads steered by data-dependent control flow.
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0x50000
+NODES = 255          # perfect tree of depth 8
+NODE_BYTES = 24
+
+
+def _build_tree(rng) -> tuple:
+    keys = sorted(rng.sample(range(1 << 16), NODES))
+
+    words = [0] * (NODES * 3)
+    def fill(slot_iter, lo, hi, slot):
+        if lo > hi:
+            return -1
+        mid = (lo + hi) // 2
+        my_slot = slot[0]
+        slot[0] += 1
+        left = fill(slot_iter, lo, mid - 1, slot)
+        right = fill(slot_iter, mid + 1, hi, slot)
+        words[my_slot * 3] = keys[mid]
+        words[my_slot * 3 + 1] = BASE + left * NODE_BYTES if left >= 0 else 0
+        words[my_slot * 3 + 2] = BASE + right * NODE_BYTES if right >= 0 else 0
+        return my_slot
+    fill(None, 0, NODES - 1, [0])
+    return words, keys
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("xalancbmk")
+    b = ProgramBuilder("xalancbmk", data_base=BASE)
+    words, keys = _build_tree(rng)
+    tree_base = b.alloc_words("tree", words)
+    probe_keys = [rng.choice(keys) if rng.random() < 0.7
+                  else rng.getrandbits(16) for _ in range(64)]
+    probes_base = b.alloc_words("probes", probe_keys)
+
+    b.li("s2", tree_base)
+    b.li("s3", probes_base)
+    b.li("s4", 0)              # found counter
+    with b.loop(count=30 * scale, counter="s5"):
+        b.li("a0", 0)          # probe index
+        with b.loop(count=16, counter="s6"):
+            b.slli("t0", "a0", 3)
+            b.add("t0", "t0", "s3")
+            b.ld("a1", "t0", 0)          # search key
+            b.mov("a2", "s2")            # current node
+            with b.loop(count=8, counter="s7"):     # bounded descent
+                deeper = b.forward_label()
+                bottom = b.forward_label()
+                b.beq("a2", "zero", bottom)
+                b.ld("a3", "a2", 0)       # node key
+                go_left = b.forward_label()
+                found = b.forward_label()
+                b.beq("a3", "a1", found)
+                b.blt("a1", "a3", go_left)
+                b.ld("a2", "a2", 16)      # right child (dependent load)
+                b.jal(0, deeper)
+                b.place(go_left)
+                b.ld("a2", "a2", 8)       # left child (dependent load)
+                b.jal(0, deeper)
+                b.place(found)
+                b.addi("s4", "s4", 1)
+                b.li("a2", 0)
+                b.place(bottom)
+                b.place(deeper)
+            b.addi("a0", "a0", 5)
+            b.andi("a0", "a0", 63)
+    checksum_and_halt(b, ["s4", "a0"])
+    return b.build()

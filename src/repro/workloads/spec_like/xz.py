@@ -1,0 +1,59 @@
+"""xz-like kernel: LZ match-length scanning with hash-chain probes.
+
+SPEC's 557.xz spends its time comparing candidate match positions byte by
+byte: the match loop exits on the first mismatching byte (a data-dependent,
+frequently mispredicted branch) and candidates come from a hash chain
+(dependent loads).
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Program
+from repro.workloads.common import checksum_and_halt, data_rng
+
+BASE = 0xA0000
+WINDOW = 1024
+
+
+def build(scale: int = 1) -> Program:
+    rng = data_rng("xz")
+    b = ProgramBuilder("xz", data_base=BASE)
+    # Compressible-ish data: repeated motifs with noise.
+    motif = [rng.randint(0, 255) for _ in range(16)]
+    data = []
+    for i in range(WINDOW):
+        if rng.random() < 0.8:
+            data.append(motif[i % 16])
+        else:
+            data.append(rng.randint(0, 255))
+    data_base_addr = b.alloc_bytes("window", data)
+    chain = [rng.randrange(WINDOW - 64) for _ in range(64)]
+    chain_base = b.alloc_words("chain", chain)
+
+    b.li("s2", data_base_addr)
+    b.li("s3", chain_base)
+    b.li("s4", 0)              # total match length
+    with b.loop(count=12 * scale, counter="s5"):
+        b.li("a0", 0)          # chain index
+        with b.loop(count=16, counter="s6"):
+            b.slli("t0", "a0", 3)
+            b.add("t0", "t0", "s3")
+            b.ld("a1", "t0", 0)          # candidate offset (dependent)
+            b.add("a1", "a1", "s2")      # candidate pointer
+            b.li("a2", 0)                # match length
+            b.mov("a3", "s2")            # cursor at window start
+            mismatch = b.forward_label()
+            with b.loop(count=24, counter="s7"):
+                b.lb("t1", "a3", 0)
+                b.lb("t2", "a1", 0)
+                b.bne("t1", "t2", mismatch)   # unpredictable early exit
+                b.addi("a2", "a2", 1)
+                b.addi("a3", "a3", 1)
+                b.addi("a1", "a1", 1)
+            b.place(mismatch)
+            b.add("s4", "s4", "a2")
+            b.addi("a0", "a0", 3)
+            b.andi("a0", "a0", 63)
+    checksum_and_halt(b, ["s4", "a2"])
+    return b.build()

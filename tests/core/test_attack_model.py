@@ -1,0 +1,75 @@
+"""Unit tests for the visibility-point predicates."""
+
+from repro.core.attack_model import AttackModel, vp_obstacle
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+from repro.pipeline.core import OoOCore
+from repro.pipeline.dyninst import DynInst
+
+
+def make(op, **kwargs):
+    return DynInst(0, 0, Instruction(op, **kwargs))
+
+
+def test_spectre_only_blocks_on_unresolved_control():
+    obstacle = vp_obstacle(AttackModel.SPECTRE)
+    branch = make("BEQ", rs1=1, rs2=2, imm=5)
+    assert obstacle(branch)
+    branch.resolution_applied = True
+    assert not obstacle(branch)
+    load = make("LD", rd=1, rs1=2)
+    assert not obstacle(load)           # incomplete loads do not block
+    alu = make("ADD", rd=1, rs1=2, rs2=3)
+    assert not obstacle(alu)
+
+
+def test_futuristic_blocks_on_any_incomplete_instruction():
+    obstacle = vp_obstacle(AttackModel.FUTURISTIC)
+    load = make("LD", rd=1, rs1=2)
+    assert obstacle(load)
+    load.mem_complete = True
+    assert not obstacle(load)
+    alu = make("ADD", rd=1, rs1=2, rs2=3)
+    assert obstacle(alu)
+    alu.complete = True
+    assert not obstacle(alu)
+    branch = make("BNE", rs1=1, rs2=2, imm=3)
+    branch.complete = True
+    assert obstacle(branch)             # resolution still pending
+    branch.resolution_applied = True
+    assert not obstacle(branch)
+
+
+def test_jal_never_blocks_either_model():
+    jal = make("JAL", rd=1, imm=9)
+    jal.complete = True
+    jal.resolution_applied = True
+    assert not vp_obstacle(AttackModel.SPECTRE)(jal)
+    assert not vp_obstacle(AttackModel.FUTURISTIC)(jal)
+
+
+def test_vp_frontier_is_monotone_prefix():
+    program = assemble("""
+        li t0, 3
+        li s2, 0x4000
+    loop:
+        ld a0, 0(s2)
+        addi t0, t0, -1
+        bne t0, zero, loop
+        halt
+    """)
+    core = OoOCore(program)
+    obstacle = vp_obstacle(AttackModel.FUTURISTIC)
+    reached: set = set()
+    while not core.halted and core.cycle < 5000:
+        core.step()
+        newly = core.advance_vp(obstacle)
+        for di in newly:
+            assert di.seq not in reached
+            reached.add(di.seq)
+        # Every instruction in flight older than a VP'd one is also VP'd.
+        flight = list(core.in_flight())
+        for older, younger in zip(flight, flight[1:]):
+            if younger.reached_vp:
+                assert older.reached_vp
+    assert core.halted

@@ -1,0 +1,36 @@
+"""Unit tests for the untaint-event accounting."""
+
+from repro.core.events import UntaintKind, UntaintStats
+
+
+def test_count_accumulates_by_kind():
+    stats = UntaintStats()
+    stats.count(UntaintKind.FORWARD)
+    stats.count(UntaintKind.FORWARD, 2)
+    stats.count(UntaintKind.BACKWARD)
+    assert stats.by_kind[UntaintKind.FORWARD] == 3
+    assert stats.total == 4
+
+
+def test_as_dict_uses_kind_values():
+    stats = UntaintStats()
+    stats.count(UntaintKind.VP_TRANSMITTER)
+    stats.count(UntaintKind.SHADOW_L1)
+    as_dict = stats.as_dict()
+    assert as_dict == {"shadow-l1": 1, "vp-transmitter": 1}
+
+
+def test_cycle_width_histogram_ignores_zero():
+    stats = UntaintStats()
+    stats.record_cycle_width(0)
+    stats.record_cycle_width(3)
+    stats.record_cycle_width(3)
+    stats.record_cycle_width(1)
+    assert stats.untaints_per_cycle == {3: 2, 1: 1}
+
+
+def test_kinds_are_exclusive_and_stable():
+    values = [kind.value for kind in UntaintKind]
+    assert len(values) == len(set(values))
+    assert "forward" in values and "backward" in values
+    assert "stl-forward" in values and "stl-backward" in values

@@ -1,0 +1,175 @@
+"""Unit tests for the gate-level untaint algebra (paper Section 5)."""
+
+import pytest
+
+from repro.core.gates import Circuit, CircuitError
+
+
+def test_forward_rule_untainted_inputs_give_untainted_output():
+    c = Circuit()
+    c.input("a", 1, tainted=False)
+    c.input("b", 0, tainted=False)
+    out = c.gate("AND", "a", "b")
+    assert not c.tainted(out)
+    assert c.value(out) == 0
+
+
+def test_forward_glift_and_masking_zero():
+    # Section 5.1: an untainted 0 input makes an AND output public.
+    c = Circuit()
+    c.input("a", 0, tainted=False)
+    c.input("b", 1, tainted=True)
+    out = c.gate("AND", "a", "b")
+    assert not c.tainted(out)
+
+
+def test_forward_glift_and_no_masking_with_one():
+    # 1 & secret = secret: output must stay tainted.
+    c = Circuit()
+    c.input("a", 1, tainted=False)
+    c.input("b", 1, tainted=True)
+    out = c.gate("AND", "a", "b")
+    assert c.tainted(out)
+
+
+def test_forward_glift_or_masking_one():
+    c = Circuit()
+    c.input("a", 1, tainted=False)
+    c.input("b", 0, tainted=True)
+    out = c.gate("OR", "a", "b")
+    assert not c.tainted(out)
+
+
+def test_xor_never_masks():
+    c = Circuit()
+    c.input("a", 0, tainted=False)
+    c.input("b", 1, tainted=True)
+    assert c.tainted(c.gate("XOR", "a", "b"))
+
+
+def test_figure2_backward_and_output_one():
+    # Figure 2: out = 1 untainted  =>  in1 = in2 = 1, both untainted.
+    c = Circuit()
+    c.input("in1", 1, tainted=True)
+    c.input("in2", 1, tainted=True)
+    out = c.gate("AND", "in1", "in2")
+    assert c.tainted(out)
+    newly = c.declassify(out)
+    assert set(newly) == {out, "in1", "in2"}
+    assert not c.tainted("in1") and not c.tainted("in2")
+
+
+def test_figure2_backward_and_output_zero_no_inference():
+    # out = 0 untainted: either input may have been 0; nothing inferable.
+    c = Circuit()
+    c.input("in1", 0, tainted=True)
+    c.input("in2", 1, tainted=True)
+    out = c.gate("AND", "in1", "in2")
+    c.declassify(out)
+    assert c.tainted("in1") and c.tainted("in2")
+
+
+def test_section52_and_zero_with_one_public_input():
+    # out = 0, in2 = 1 untainted  =>  in1 must be 0.
+    c = Circuit()
+    c.input("in1", 0, tainted=True)
+    c.input("in2", 1, tainted=True)
+    out = c.gate("AND", "in1", "in2")
+    c.declassify(out)
+    assert c.tainted("in1")
+    c.declassify("in2")
+    assert not c.tainted("in1")
+
+
+def test_backward_or_zero_infers_both():
+    c = Circuit()
+    c.input("a", 0, tainted=True)
+    c.input("b", 0, tainted=True)
+    out = c.gate("OR", "a", "b")
+    c.declassify(out)
+    assert not c.tainted("a") and not c.tainted("b")
+
+
+def test_backward_xor_with_one_public_input():
+    c = Circuit()
+    c.input("a", 1, tainted=True)
+    c.input("b", 1, tainted=False)
+    out = c.gate("XOR", "a", "b")
+    assert c.tainted(out)
+    c.declassify(out)
+    assert not c.tainted("a")        # a = out ^ b
+
+
+def test_backward_not():
+    c = Circuit()
+    c.input("a", 1, tainted=True)
+    out = c.gate("NOT", "a")
+    c.declassify(out)
+    assert not c.tainted("a")
+
+
+def test_figure3_composition():
+    # Figure 3: out = (t0 OR ...) AND in2 with in2 = 1 untainted, out = 0.
+    # Declassifying out infers t0 = 0 and back-propagates through the OR.
+    c = Circuit()
+    c.input("x", 0, tainted=True)
+    c.input("y", 0, tainted=True)
+    c.input("in2", 1, tainted=False)
+    t0 = c.gate("OR", "x", "y", name="t0")
+    out = c.gate("AND", "t0", "in2", name="out")
+    assert c.tainted(t0) and c.tainted(out)
+    newly = c.declassify(out)
+    assert not c.tainted(t0)          # step 2 of Figure 3
+    assert not c.tainted("x") and not c.tainted("y")   # step 3
+    assert set(newly) >= {"out", "t0", "x", "y"}
+
+
+def test_dynamic_reapplication_of_forward_rules():
+    # Section 5.1: declassifying an input re-applies the GLIFT rules.
+    c = Circuit()
+    c.input("a", 0, tainted=True)
+    c.input("b", 1, tainted=True)
+    out = c.gate("AND", "a", "b")
+    assert c.tainted(out)
+    c.declassify("a")                 # a = 0 becomes public: out = 0 public
+    assert not c.tainted(out)
+
+
+def test_taint_is_monotone_under_declassification():
+    c = Circuit()
+    c.input("a", 1, tainted=True)
+    c.input("b", 0, tainted=True)
+    c.gate("XOR", "a", "b", name="w")
+    before = {n: w.tainted for n, w in c.wires.items()}
+    c.declassify("a")
+    for name, wire in c.wires.items():
+        if not before[name]:
+            assert not wire.tainted   # untainted never re-taints
+
+
+def test_bad_wire_value_rejected():
+    c = Circuit()
+    with pytest.raises(CircuitError):
+        c.input("a", 2, tainted=False)
+
+
+def test_duplicate_wire_rejected():
+    c = Circuit()
+    c.input("a", 0, tainted=False)
+    with pytest.raises(CircuitError):
+        c.input("a", 1, tainted=False)
+
+
+def test_unknown_gate_rejected():
+    c = Circuit()
+    c.input("a", 0, tainted=False)
+    with pytest.raises(CircuitError):
+        c.gate("NAND", "a", "a")
+
+
+def test_primary_inputs():
+    c = Circuit()
+    c.input("a", 0, tainted=False)
+    c.input("b", 1, tainted=True)
+    c.gate("AND", "a", "b", name="w")
+    assert set(c.primary_inputs()) == {"a", "b"}

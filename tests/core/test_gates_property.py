@@ -1,0 +1,81 @@
+"""Property-based soundness of the untaint algebra.
+
+The paper's Lemma 2 ("untainted data is inferable by the attacker") is
+checked by brute force on random circuits: after arbitrary declassification
+sequences, every untainted wire's value must be uniquely determined by the
+circuit structure plus the untainted wires (see repro.core.inferability).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gates import Circuit
+from repro.core.inferability import soundness_violation
+
+
+def random_circuit(rng: random.Random, num_inputs: int, num_gates: int) -> Circuit:
+    c = Circuit()
+    wires = []
+    for index in range(num_inputs):
+        name = f"i{index}"
+        c.input(name, rng.randint(0, 1), tainted=rng.random() < 0.7)
+        wires.append(name)
+    for index in range(num_gates):
+        op = rng.choice(["AND", "OR", "XOR", "NOT"])
+        if op == "NOT":
+            inputs = [rng.choice(wires)]
+        else:
+            inputs = [rng.choice(wires), rng.choice(wires)]
+        wires.append(c.gate(op, *inputs, name=f"g{index}"))
+    return c
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000),
+       num_inputs=st.integers(min_value=1, max_value=6),
+       num_gates=st.integers(min_value=1, max_value=10),
+       declassifications=st.integers(min_value=0, max_value=4))
+def test_untaint_algebra_is_sound(seed, num_inputs, num_gates,
+                                  declassifications):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, num_inputs, num_gates)
+    names = list(circuit.wires)
+    for _ in range(declassifications):
+        circuit.declassify(rng.choice(names))
+    violation = soundness_violation(circuit)
+    assert violation is None, violation
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_declassification_is_monotone(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, 4, 8)
+    names = list(circuit.wires)
+    untainted: set = {n for n in names if not circuit.tainted(n)}
+    for _ in range(5):
+        circuit.declassify(rng.choice(names))
+        now = {n for n in names if not circuit.tainted(n)}
+        assert untainted <= now          # never re-taint
+        untainted = now
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_propagate_reaches_fixpoint(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, 4, 8)
+    circuit.declassify(rng.choice(list(circuit.wires)))
+    assert circuit.propagate() == []     # second pass finds nothing new
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000_000))
+def test_declassify_everything_untaints_everything(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, 4, 6)
+    for name in list(circuit.wires):
+        circuit.declassify(name)
+    assert all(not circuit.tainted(n) for n in circuit.wires)

@@ -1,0 +1,103 @@
+"""Tests for the artifact-compatible CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import (build_parser, format_stats, load_program, main,
+                       make_engine_from_args, validate_args)
+from repro.core.baselines import SecureBaseline, UnsafeBaseline
+from repro.core.shadow_l1 import ShadowMode
+from repro.core.spt import SPTEngine
+from repro.core.stt import STTEngine
+
+
+def parse(argv):
+    return build_parser().parse_args(argv)
+
+
+def test_insecure_baseline_is_default():
+    args = parse(["mcf"])
+    assert validate_args(args) is None
+    assert isinstance(make_engine_from_args(args), UnsafeBaseline)
+
+
+def test_secure_baseline_mapping():
+    args = parse(["mcf", "--enable-spt", "--threat-model", "spectre",
+                  "--untaint-method", "none"])
+    engine = make_engine_from_args(args)
+    assert isinstance(engine, SecureBaseline)
+
+
+@pytest.mark.parametrize("method,shadow_flag,expected_name", [
+    ("fwd", None, "SPT{Fwd,NoShadowL1}"),
+    ("bwd", None, "SPT{Bwd,NoShadowL1}"),
+    ("bwd", "--enable-shadow-l1", "SPT{Bwd,ShadowL1}"),
+    ("bwd", "--enable-shadow-mem", "SPT{Bwd,ShadowMem}"),
+    ("ideal", "--enable-shadow-mem", "SPT{Ideal,ShadowMem}"),
+])
+def test_table2_configuration_mapping(method, shadow_flag, expected_name):
+    argv = ["mcf", "--enable-spt", "--threat-model", "futuristic",
+            "--untaint-method", method]
+    if shadow_flag:
+        argv.append(shadow_flag)
+    engine = make_engine_from_args(parse(argv))
+    assert isinstance(engine, SPTEngine)
+    assert engine.name == expected_name
+
+
+def test_stt_flag():
+    args = parse(["mcf", "--stt", "--threat-model", "spectre"])
+    assert validate_args(args) is None
+    assert isinstance(make_engine_from_args(args), STTEngine)
+
+
+@pytest.mark.parametrize("argv,fragment", [
+    (["mcf", "--enable-spt"], "--threat-model"),
+    (["mcf", "--enable-spt", "--threat-model", "spectre"],
+     "--untaint-method"),
+    (["mcf", "--enable-spt", "--threat-model", "spectre",
+      "--untaint-method", "bwd", "--enable-shadow-l1",
+      "--enable-shadow-mem"], "both"),
+    (["mcf", "--track-insts"], "--track-insts"),
+    (["mcf", "--stt"], "--threat-model"),
+    (["mcf", "--enable-shadow-l1"], "--enable-spt"),
+])
+def test_invalid_combinations_rejected(argv, fragment):
+    error = validate_args(parse(argv))
+    assert error is not None and fragment in error
+
+
+def test_load_program_from_workload_registry():
+    program = load_program("djbsort", scale=1)
+    assert program.name == "djbsort"
+
+
+def test_load_program_from_asm_file(tmp_path):
+    path = tmp_path / "prog.asm"
+    path.write_text("li a0, 1\nhalt\n")
+    program = load_program(str(path), scale=1)
+    assert len(program) == 2
+
+
+def test_load_program_unknown_exits():
+    with pytest.raises(SystemExit):
+        load_program("no-such-thing", scale=1)
+
+
+def test_main_end_to_end(tmp_path, capsys):
+    code = main(["djbsort", "--enable-spt", "--threat-model", "futuristic",
+                 "--untaint-method", "bwd", "--enable-shadow-l1",
+                 "--track-insts", "--max-instructions", "1500",
+                 "--output-dir", str(tmp_path)])
+    assert code == 0
+    stats = (tmp_path / "stats.txt").read_text()
+    assert "numCycles" in stats
+    assert "configName" in stats and "SPT{Bwd,ShadowL1}" in stats
+    out = capsys.readouterr().out
+    assert "instructions" in out
+
+
+def test_main_rejects_bad_combo(capsys):
+    code = main(["mcf", "--enable-spt"])
+    assert code == 2

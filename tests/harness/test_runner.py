@@ -1,0 +1,64 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.core.attack_model import AttackModel
+from repro.harness.runner import (bench_budget, bench_scale, normalized_time,
+                                  run_one)
+
+
+def test_run_one_returns_populated_result():
+    result = run_one("chacha20", "UnsafeBaseline", AttackModel.FUTURISTIC,
+                     max_instructions=2000)
+    assert result.cycles > 0
+    assert result.retired > 0
+    assert result.workload == "chacha20"
+    assert result.config == "UnsafeBaseline"
+    assert 0 < result.ipc <= 8
+
+
+def test_run_one_spt_collects_untaint_stats():
+    result = run_one("mcf", "SPT{Bwd,ShadowL1}", AttackModel.FUTURISTIC,
+                     max_instructions=1500)
+    assert result.untaint_by_kind        # mcf definitely declassifies
+
+
+def test_run_one_non_spt_has_no_untaint_stats():
+    result = run_one("mcf", "STT", AttackModel.FUTURISTIC,
+                     max_instructions=1500)
+    assert result.untaint_by_kind == {}
+
+
+def test_keep_sim_flag():
+    with_sim = run_one("djbsort", "UnsafeBaseline", max_instructions=1000,
+                       keep_sim=True)
+    without = run_one("djbsort", "UnsafeBaseline", max_instructions=1000)
+    assert with_sim.sim is not None
+    assert without.sim is None
+
+
+def test_normalized_time_same_retired():
+    base = run_one("djbsort", "UnsafeBaseline", max_instructions=1400)
+    secure = run_one("djbsort", "SecureBaseline", AttackModel.FUTURISTIC,
+                     max_instructions=1400)
+    ratio = normalized_time(secure, base)
+    assert ratio >= 1.0
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_BUDGET", "1234")
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "5")
+    assert bench_budget() == 1234
+    assert bench_scale() == 5
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_BUDGET", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert bench_budget(777) == 777
+    assert bench_scale() == 1
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        run_one("not-a-workload", "STT")

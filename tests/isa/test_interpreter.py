@@ -1,0 +1,108 @@
+"""Unit tests for the golden interpreter."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.interpreter import InterpreterError, run_program
+
+
+def test_arithmetic_and_halt():
+    result = run_program(assemble("li a0, 6\nli a1, 7\nmul a2, a0, a1\nhalt"))
+    assert result.reg(12) == 42
+    assert result.halted
+    assert result.retired == 4
+
+
+def test_x0_is_hardwired_zero():
+    result = run_program(assemble("li x0, 99\nadd a0, x0, x0\nhalt"))
+    assert result.reg(0) == 0
+    assert result.reg(10) == 0
+
+
+def test_memory_roundtrip_all_sizes():
+    result = run_program(assemble("""
+        li a0, 0x1122334455667788
+        sd a0, 0x100(zero)
+        ld a1, 0x100(zero)
+        lw a2, 0x100(zero)
+        lh a3, 0x100(zero)
+        lb a4, 0x100(zero)
+        halt
+    """))
+    assert result.reg(11) == 0x1122334455667788
+    assert result.reg(12) == 0x55667788
+    assert result.reg(13) == 0x7788
+    assert result.reg(14) == 0x88
+
+
+def test_little_endian_byte_order():
+    result = run_program(assemble("""
+        li a0, 0x0102030405060708
+        sd a0, 0x200(zero)
+        lb a1, 0x200(zero)
+        lb a2, 0x207(zero)
+        halt
+    """))
+    assert result.reg(11) == 0x08
+    assert result.reg(12) == 0x01
+
+
+def test_partial_store_overwrites_only_its_bytes():
+    result = run_program(assemble("""
+        li a0, -1
+        sd a0, 0x300(zero)
+        li a1, 0
+        sb a1, 0x303(zero)
+        ld a2, 0x300(zero)
+        halt
+    """))
+    assert result.reg(12) == 0xFFFFFFFF00FFFFFF
+
+
+def test_call_and_return():
+    result = run_program(assemble("""
+        li a0, 1
+        jal ra, func
+        addi a0, a0, 100
+        halt
+    func:
+        addi a0, a0, 10
+        jalr zero, ra, 0
+    """))
+    assert result.reg(10) == 111
+
+
+def test_branch_taken_and_not_taken():
+    result = run_program(assemble("""
+        li a0, 5
+        li a1, 5
+        beq a0, a1, equal
+        li a2, 111
+        halt
+    equal:
+        li a2, 222
+        halt
+    """))
+    assert result.reg(12) == 222
+
+
+def test_runaway_pc_raises():
+    with pytest.raises(InterpreterError, match="left the program"):
+        run_program(assemble("addi a0, a0, 1"))   # no halt: falls off the end
+
+
+def test_instruction_budget_stops_infinite_loop():
+    result = run_program(assemble("loop: jal zero, loop\nhalt"),
+                         max_instructions=100)
+    assert not result.halted
+    assert result.retired == 100
+
+
+def test_pc_trace():
+    result = run_program(assemble("nop\nnop\nhalt"), trace_pcs=True)
+    assert result.pc_trace == [0, 1, 2]
+
+
+def test_initial_memory_image_visible():
+    program = assemble(".word 0x500 1234\nld a0, 0x500(zero)\nhalt")
+    assert run_program(program).reg(10) == 1234

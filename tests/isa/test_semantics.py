@@ -1,0 +1,85 @@
+"""Property-based tests for the shared ALU/branch semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import WORD_MASK, to_signed
+from repro.isa.semantics import alu_result, branch_taken, effective_address
+
+u64 = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+@given(a=u64, b=u64)
+def test_add_sub_roundtrip(a, b):
+    added = alu_result(Instruction("ADD", rd=1, rs1=2, rs2=3), a, b)
+    assert alu_result(Instruction("SUB", rd=1, rs1=2, rs2=3), added, b) == a
+
+
+@given(a=u64, b=u64)
+def test_xor_involution(a, b):
+    x = alu_result(Instruction("XOR", rd=1, rs1=2, rs2=3), a, b)
+    assert alu_result(Instruction("XOR", rd=1, rs1=2, rs2=3), x, b) == a
+
+
+@given(a=u64, shift=st.integers(min_value=0, max_value=63))
+def test_rotate_roundtrip(a, shift):
+    left = alu_result(Instruction("ROTLI", rd=1, rs1=2, imm=shift), a, 0)
+    back = alu_result(Instruction("ROTRI", rd=1, rs1=2, imm=shift), left, 0)
+    assert back == a
+
+
+@given(a=u64)
+def test_not_involution(a):
+    n = alu_result(Instruction("NOT", rd=1, rs1=2), a, 0)
+    assert alu_result(Instruction("NOT", rd=1, rs1=2), n, 0) == a
+    assert n == a ^ WORD_MASK
+
+
+@given(a=u64, b=u64)
+def test_results_stay_in_64_bits(a, b):
+    for op in ("ADD", "SUB", "AND", "OR", "XOR", "SLL", "SRL", "SRA",
+               "MUL", "DIV", "REM", "SLT", "SLTU"):
+        result = alu_result(Instruction(op, rd=1, rs1=2, rs2=3), a, b)
+        assert 0 <= result <= WORD_MASK, op
+
+
+@given(a=u64, b=u64)
+def test_slt_matches_signed_comparison(a, b):
+    result = alu_result(Instruction("SLT", rd=1, rs1=2, rs2=3), a, b)
+    assert result == (1 if to_signed(a) < to_signed(b) else 0)
+
+
+@given(a=u64, b=u64)
+def test_div_rem_identity(a, b):
+    if b == 0:
+        return
+    q = alu_result(Instruction("DIV", rd=1, rs1=2, rs2=3), a, b)
+    r = alu_result(Instruction("REM", rd=1, rs1=2, rs2=3), a, b)
+    assert (to_signed(q) * to_signed(b) + to_signed(r)) & WORD_MASK == a
+
+
+def test_div_by_zero_defined():
+    assert alu_result(Instruction("DIV", rd=1, rs1=2, rs2=3), 5, 0) == WORD_MASK
+    assert alu_result(Instruction("REM", rd=1, rs1=2, rs2=3), 5, 0) == 5
+
+
+@given(a=u64, b=u64)
+def test_branch_pairs_are_complementary(a, b):
+    for taken_op, complement in (("BEQ", "BNE"), ("BLT", "BGE"),
+                                 ("BLTU", "BGEU")):
+        t = branch_taken(Instruction(taken_op, rs1=1, rs2=2, imm=0), a, b)
+        c = branch_taken(Instruction(complement, rs1=1, rs2=2, imm=0), a, b)
+        assert t != c
+
+
+@given(base=u64, offset=st.integers(min_value=-1024, max_value=1024))
+def test_effective_address_wraps(base, offset):
+    inst = Instruction("LD", rd=1, rs1=2, imm=offset)
+    assert effective_address(inst, base) == (base + offset) % (1 << 64)
+
+
+@given(a=u64)
+def test_li_ignores_operands(a):
+    inst = Instruction("LI", rd=1, imm=77)
+    assert alu_result(inst, a, a) == 77

@@ -1,0 +1,52 @@
+"""Unit and property tests for the flat backing store."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.main_memory import MainMemory
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+addr = st.integers(min_value=0, max_value=1 << 20)
+size = st.sampled_from([1, 2, 4, 8])
+
+
+def test_uninitialised_reads_zero():
+    assert MainMemory().load(0x1234, 8) == 0
+
+
+def test_image_constructor():
+    memory = MainMemory({0x10: 0xAB})
+    assert memory.load(0x10, 1) == 0xAB
+
+
+@given(address=addr, value=u64, access=size)
+def test_store_load_roundtrip(address, value, access):
+    memory = MainMemory()
+    memory.store(address, value, access)
+    mask = (1 << (8 * access)) - 1
+    assert memory.load(address, access) == value & mask
+
+
+@given(address=addr, value=u64)
+def test_little_endian_composition(address, value):
+    memory = MainMemory()
+    memory.store(address, value, 8)
+    composed = 0
+    for offset in range(8):
+        composed |= memory.load(address + offset, 1) << (8 * offset)
+    assert composed == value
+
+
+@given(address=addr, first=u64, second=u64)
+def test_partial_overwrite(address, first, second):
+    memory = MainMemory()
+    memory.store(address, first, 8)
+    memory.store(address + 2, second, 2)
+    expected = (first & ~(0xFFFF << 16)) | ((second & 0xFFFF) << 16)
+    assert memory.load(address, 8) == expected
+
+
+def test_snapshot_drops_zero_bytes():
+    memory = MainMemory()
+    memory.store(0x100, 0x00FF, 2)
+    assert memory.snapshot() == {0x100: 0xFF}

@@ -1,0 +1,108 @@
+"""Unit tests for the composite branch predictor."""
+
+from repro.isa.instructions import Instruction
+from repro.pipeline.branch_predictor import (BranchPredictor,
+                                             BranchTargetBuffer,
+                                             GsharePredictor,
+                                             ReturnAddressStack)
+
+
+def test_gshare_learns_a_bias():
+    predictor = GsharePredictor(history_bits=8)
+    pc = 0x40
+    # The global history register saturates to all-taken after 8 iterations;
+    # further training then hits a stable table index.
+    for _ in range(12):
+        taken, snapshot = predictor.predict(pc)
+        predictor.update(pc, snapshot, True)
+        predictor.repair_history(snapshot, True)
+    taken, _ = predictor.predict(pc)
+    assert taken
+
+
+def test_gshare_initially_predicts_not_taken():
+    predictor = GsharePredictor()
+    taken, _ = predictor.predict(123)
+    assert not taken
+
+
+def test_gshare_history_repair():
+    predictor = GsharePredictor(history_bits=4)
+    _, snapshot = predictor.predict(7)
+    predictor.repair_history(snapshot, True)
+    assert predictor.history == ((snapshot << 1) | 1) & 0xF
+
+
+def test_btb_stores_and_overwrites():
+    btb = BranchTargetBuffer(entries=16)
+    assert btb.predict(5) is None
+    btb.update(5, 100)
+    assert btb.predict(5) == 100
+    btb.update(5, 200)
+    assert btb.predict(5) == 200
+
+
+def test_btb_aliasing():
+    btb = BranchTargetBuffer(entries=16)
+    btb.update(1, 100)
+    assert btb.predict(17) == 100     # 17 % 16 == 1: intentional aliasing
+
+
+def test_ras_lifo_and_bound():
+    ras = ReturnAddressStack(entries=2)
+    ras.push(10)
+    ras.push(20)
+    ras.push(30)                      # overflows: drops the oldest
+    assert ras.pop() == 30
+    assert ras.pop() == 20
+    assert ras.pop() is None
+
+
+def test_composite_branch_prediction_flow():
+    predictor = BranchPredictor()
+    branch = Instruction("BNE", rs1=1, rs2=2, imm=50)
+    taken, target, snapshot = predictor.predict(10, branch)
+    assert target in (50, 11)
+    predictor.resolve(10, branch, True, 50, snapshot, mispredicted=not taken)
+    for _ in range(16):     # saturate history, then saturate the counter
+        t, target, snapshot = predictor.predict(10, branch)
+        predictor.resolve(10, branch, True, 50, snapshot,
+                          mispredicted=(t is not True))
+    taken, target, _ = predictor.predict(10, branch)
+    assert taken and target == 50
+
+
+def test_composite_jal_pushes_ras_for_calls():
+    predictor = BranchPredictor()
+    call = Instruction("JAL", rd=1, imm=99)            # rd = ra: a call
+    taken, target, _ = predictor.predict(5, call)
+    assert taken and target == 99
+    ret = Instruction("JALR", rd=0, rs1=1, imm=0)      # jalr zero, ra: return
+    taken, target, _ = predictor.predict(99, ret)
+    assert target == 6                                  # return address
+
+
+def test_composite_jalr_uses_btb():
+    predictor = BranchPredictor()
+    jump = Instruction("JALR", rd=0, rs1=5, imm=0)
+    _, target, _ = predictor.predict(20, jump)
+    assert target is None                               # untrained
+    predictor.resolve(20, jump, True, 77, 0, mispredicted=True)
+    _, target, _ = predictor.predict(20, jump)
+    assert target == 77
+
+
+def test_train_direction_attack_interface():
+    predictor = BranchPredictor()
+    predictor.train_direction(42, taken=True, repeats=4)
+    branch = Instruction("BEQ", rs1=1, rs2=2, imm=9)
+    taken, _, _ = predictor.predict(42, branch)
+    assert taken
+
+
+def test_train_btb_attack_interface():
+    predictor = BranchPredictor()
+    predictor.train_btb(13, 0xBEEF & 0xFFFF)
+    jump = Instruction("JALR", rd=0, rs1=6, imm=0)
+    _, target, _ = predictor.predict(13, jump)
+    assert target == 0xBEEF & 0xFFFF

@@ -1,0 +1,73 @@
+"""Differential tests: the OoO core must match the golden interpreter.
+
+This is the master correctness property of the whole substrate: protection
+engines may change *timing* only, never architectural results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.attack_model import AttackModel
+from repro.harness.configs import CONFIGURATIONS, make_engine
+from repro.pipeline.params import MachineParams
+from repro.workloads.random_programs import RandomProgramConfig, random_program
+
+from tests.conftest import BOTH_MODELS, assert_matches_interpreter
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_unsafe_matches_interpreter(seed):
+    assert_matches_interpreter(random_program(seed))
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("config", sorted(CONFIGURATIONS))
+def test_every_engine_matches_interpreter(seed, config):
+    program = random_program(1000 + seed)
+    engine = make_engine(config, AttackModel.FUTURISTIC)
+    assert_matches_interpreter(program, engine=engine)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("model", BOTH_MODELS)
+def test_spt_both_models_match_interpreter(seed, model):
+    program = random_program(2000 + seed)
+    engine = make_engine("SPT{Bwd,ShadowL1}", model)
+    assert_matches_interpreter(program, engine=engine)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       blocks=st.integers(min_value=2, max_value=20))
+def test_hypothesis_random_programs_match(seed, blocks):
+    config = RandomProgramConfig(blocks=blocks)
+    assert_matches_interpreter(random_program(seed, config))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_hypothesis_spt_matches(seed):
+    engine = make_engine("SPT{Bwd,ShadowL1}", AttackModel.FUTURISTIC)
+    assert_matches_interpreter(random_program(seed), engine=engine)
+
+
+def test_small_machine_matches(small_params):
+    for seed in range(5):
+        assert_matches_interpreter(random_program(3000 + seed),
+                                   params=small_params)
+
+
+def test_memory_heavy_programs():
+    config = RandomProgramConfig(blocks=15, mem_probability=0.8)
+    for seed in range(8):
+        assert_matches_interpreter(random_program(4000 + seed, config))
+
+
+def test_branch_heavy_programs():
+    config = RandomProgramConfig(blocks=15, branch_probability=0.6,
+                                 loop_probability=0.3)
+    for seed in range(8):
+        assert_matches_interpreter(random_program(5000 + seed, config))

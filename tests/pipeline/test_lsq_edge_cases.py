@@ -1,0 +1,102 @@
+"""LSQ edge cases: queue capacity, forwarding widths, ordering."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.pipeline.core import OoOCore
+from repro.pipeline.params import MachineParams
+
+from tests.conftest import assert_matches_interpreter
+
+
+def test_sq_capacity_throttles_but_stays_correct():
+    params = MachineParams(sq_entries=2, lq_entries=2, rob_entries=32,
+                           rs_entries=16, num_phys_regs=80)
+    source = "li s2, 0x4000\n"
+    for index in range(12):
+        source += f"li a0, {index}\nsd a0, {index * 8}(s2)\n"
+    for index in range(12):
+        source += f"ld a1, {index * 8}(s2)\n"
+    source += "halt\n"
+    sim = assert_matches_interpreter(assemble(source), params=params)
+    assert sim.word(0x4000 + 11 * 8) == 11
+
+
+def test_forwarding_from_narrow_store_is_conservative():
+    # A byte store partially overlapping a word load: the load must wait for
+    # the store to drain (no partial forwarding).
+    sim = assert_matches_interpreter(assemble("""
+        li s2, 0x4000
+        li a0, -1
+        sd a0, 0(s2)
+        li a1, 0xAB
+        sb a1, 2(s2)
+        ld a2, 0(s2)
+        halt
+    """))
+    assert sim.reg(12) == 0xFFFFFFFFFFAB_FFFF
+
+
+def test_wide_store_forwards_to_narrow_load():
+    sim = assert_matches_interpreter(assemble("""
+        li s2, 0x4000
+        li a0, 0x1122334455667788
+        sd a0, 0(s2)
+        lb a1, 0(s2)
+        lh a2, 0(s2)
+        lw a3, 0(s2)
+        halt
+    """))
+    assert sim.reg(11) == 0x88
+    assert sim.reg(12) == 0x7788
+    assert sim.reg(13) == 0x55667788
+
+
+def test_youngest_matching_store_wins():
+    sim = assert_matches_interpreter(assemble("""
+        li s2, 0x4000
+        li a0, 1
+        sd a0, 0(s2)
+        li a0, 2
+        sd a0, 0(s2)
+        ld a1, 0(s2)
+        halt
+    """))
+    assert sim.reg(11) == 2
+
+
+def test_load_does_not_forward_from_younger_store():
+    sim = assert_matches_interpreter(assemble("""
+        li s2, 0x4000
+        li a0, 7
+        sd a0, 0(s2)
+        ld a1, 0(s2)
+        li a0, 9
+        sd a0, 0(s2)
+        ld a2, 0(s2)
+        halt
+    """))
+    assert sim.reg(11) == 7
+    assert sim.reg(12) == 9
+
+
+def test_unaligned_word_access_roundtrip():
+    sim = assert_matches_interpreter(assemble("""
+        li s2, 0x4003
+        li a0, 0xDEADBEEF
+        sw a0, 0(s2)
+        lw a1, 0(s2)
+        halt
+    """))
+    assert sim.reg(11) == 0xDEADBEEF
+
+
+def test_many_outstanding_misses_respect_mshrs():
+    params = MachineParams()
+    params.hierarchy.mshrs = 2
+    source = "li s2, 0x100000\n"
+    for index in range(8):
+        source += f"ld a0, {index * 4096}(s2)\n"    # 8 distinct cold lines
+    source += "halt\n"
+    sim = assert_matches_interpreter(assemble(source), params=params)
+    assert sim.halted

@@ -1,0 +1,36 @@
+"""Unit tests for machine parameters (Table 1)."""
+
+import pytest
+
+from repro.pipeline.params import MachineParams, table1_text
+
+
+def test_defaults_match_paper_table1():
+    params = MachineParams()
+    assert params.fetch_width == 8
+    assert params.rob_entries == 192
+    assert params.lq_entries == 32 and params.sq_entries == 32
+    assert params.hierarchy.mshrs == 16
+    assert params.untaint_broadcast_width == 3
+    h = params.hierarchy
+    assert h.l1_params.size_bytes == 32 * 1024 and h.l1_params.ways == 8
+    assert h.l2_params.size_bytes == 256 * 1024 and h.l2_params.latency == 20
+    assert h.l3_params.size_bytes == 2 * 1024 * 1024
+    assert h.l1_params.line_bytes == 64
+
+
+def test_validate_rejects_bad_configs():
+    with pytest.raises(ValueError):
+        MachineParams(rob_entries=0).validate()
+    with pytest.raises(ValueError):
+        MachineParams(num_phys_regs=33).validate()
+    with pytest.raises(ValueError):
+        MachineParams(untaint_broadcast_width=0).validate()
+
+
+def test_table1_text_mentions_key_parameters():
+    text = table1_text()
+    assert "192 ROB" in text
+    assert "32 KB" in text
+    assert "Untaint broadcast width" in text
+    assert "16 MSHRs" in text

@@ -1,0 +1,110 @@
+"""Unit tests for the rename unit (RAT / free list / PRF)."""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.rename import OutOfPhysRegs, RenameUnit
+
+
+def di(op, seq=0, **kwargs) -> DynInst:
+    return DynInst(seq, 0, Instruction(op, **kwargs))
+
+
+def test_initial_identity_mapping():
+    unit = RenameUnit(64)
+    assert unit.rat[:4] == [0, 1, 2, 3]
+    assert unit.arch_value(5) == 0
+
+
+def test_rename_allocates_and_tracks_old_mapping():
+    unit = RenameUnit(64)
+    inst = di("ADD", rd=3, rs1=1, rs2=2)
+    unit.rename(inst)
+    assert inst.prs1 == 1 and inst.prs2 == 2
+    assert inst.prd == 32                    # first free physical register
+    assert inst.old_prd == 3
+    assert unit.rat[3] == 32
+    assert not unit.ready[32]
+
+
+def test_write_result_and_read():
+    unit = RenameUnit(64)
+    inst = di("LI", rd=4, imm=9)
+    unit.rename(inst)
+    unit.write_result(inst, 9)
+    assert unit.ready[inst.prd]
+    assert unit.read(inst.prd) == 9
+    assert unit.arch_value(4) == 9
+
+
+def test_x0_never_renamed():
+    unit = RenameUnit(64)
+    inst = di("LI", rd=0, imm=5)
+    unit.rename(inst)
+    assert inst.prd == -1
+    assert unit.arch_value(0) == 0
+
+
+def test_undo_restores_rat_and_frees():
+    unit = RenameUnit(64)
+    first = di("LI", rd=7, imm=1, seq=0)
+    second = di("LI", rd=7, imm=2, seq=1)
+    unit.rename(first)
+    unit.rename(second)
+    free_before = unit.free_count()
+    unit.undo(second)
+    assert unit.rat[7] == first.prd
+    assert unit.free_count() == free_before + 1
+    # The freed register is reused first (appendleft).
+    third = di("LI", rd=8, imm=3, seq=2)
+    unit.rename(third)
+    assert third.prd == second.old_prd or third.prd >= 32
+
+
+def test_undo_youngest_first_restores_chain():
+    unit = RenameUnit(64)
+    writes = [di("LI", rd=5, imm=i, seq=i) for i in range(3)]
+    for inst in writes:
+        unit.rename(inst)
+    for inst in reversed(writes):
+        unit.undo(inst)
+    assert unit.rat[5] == 5                   # back to the identity mapping
+
+
+def test_commit_reclaims_previous_mapping():
+    unit = RenameUnit(64)
+    first = di("LI", rd=6, imm=1, seq=0)
+    second = di("LI", rd=6, imm=2, seq=1)
+    unit.rename(first)
+    unit.rename(second)
+    free_before = unit.free_count()
+    unit.commit(first)                        # frees the identity reg 6
+    unit.commit(second)                       # frees first.prd
+    assert unit.free_count() == free_before + 2
+
+
+def test_commit_never_frees_phys_zero():
+    unit = RenameUnit(64)
+    # Write to x1..: old_prd for the first x1 write is phys 1, not 0; x0 is
+    # never renamed so phys 0 can never appear as old_prd.  Simulate commit
+    # of a write whose old mapping is 0 anyway (defensive).
+    inst = di("LI", rd=1, imm=1)
+    unit.rename(inst)
+    inst.old_prd = 0
+    unit.commit(inst)
+    assert 0 not in unit.free
+
+
+def test_out_of_phys_regs():
+    unit = RenameUnit(34)                     # only 2 spare registers
+    unit.rename(di("LI", rd=1, imm=0, seq=0))
+    unit.rename(di("LI", rd=2, imm=0, seq=1))
+    with pytest.raises(OutOfPhysRegs):
+        unit.rename(di("LI", rd=3, imm=0, seq=2))
+
+
+def test_operand_ready_for_unrenamed_operand():
+    unit = RenameUnit(64)
+    assert unit.operand_ready(-1)
+    assert unit.operand_ready(0)

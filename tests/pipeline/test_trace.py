@@ -1,0 +1,80 @@
+"""Tests for the pipeline tracer."""
+
+from repro.core.attack_model import AttackModel
+from repro.core.spt import SPTEngine
+from repro.isa.assembler import assemble
+from repro.pipeline.trace import PipelineTracer, trace_program
+from repro.pipeline.core import OoOCore
+
+
+SIMPLE = """
+    li a0, 1
+    addi a1, a0, 2
+    sd a1, 0x100(zero)
+    ld a2, 0x100(zero)
+    halt
+"""
+
+
+def test_trace_captures_all_retired_instructions():
+    tracer = trace_program(assemble(SIMPLE))
+    retired = [e for e in tracer.entries if not e.squashed and e.retire >= 0]
+    assert len(retired) == 5
+
+
+def test_lifecycle_ordering():
+    tracer = trace_program(assemble(SIMPLE))
+    for entry in tracer.entries:
+        if entry.retire >= 0:
+            assert entry.fetch <= entry.dispatch <= entry.retire
+            if entry.issue >= 0:
+                assert entry.dispatch <= entry.issue
+            if entry.complete >= 0 and entry.issue >= 0:
+                assert entry.issue <= entry.complete <= entry.retire
+
+
+def test_render_contains_stage_markers():
+    tracer = trace_program(assemble(SIMPLE))
+    text = tracer.render()
+    assert "F" in text and "D" in text and "R" in text
+    assert "li x10, 1" in text
+
+
+def test_squashed_wrong_path_instructions_are_traced():
+    source = """
+        li t0, 5
+        li t1, 0
+    loop:
+        addi t1, t1, 1
+        addi t0, t0, -1
+        bne t0, zero, loop
+        halt
+    """
+    tracer = trace_program(assemble(source))
+    assert tracer.squashed_count() >= 1
+    text = tracer.render(count=100)
+    assert "X" in text
+
+
+def test_delayed_transmitters_visible_under_spt():
+    source = """
+        ld a0, 0x4000(zero)
+        ld a1, 0(a0)
+        halt
+    """
+    unprotected = trace_program(assemble(source))
+    protected = trace_program(assemble(source),
+                              engine=SPTEngine(AttackModel.FUTURISTIC))
+    assert len(protected.delayed_transmitters(threshold=3)) >= \
+        len(unprotected.delayed_transmitters(threshold=3))
+
+
+def test_entry_cap():
+    tracer = PipelineTracer(OoOCore(assemble(SIMPLE)), max_entries=2)
+    tracer.run()
+    assert len(tracer.entries) <= 3      # cap is approximate per harvest
+
+
+def test_render_empty():
+    tracer = PipelineTracer(OoOCore(assemble(SIMPLE)))
+    assert "no trace entries" in tracer.render()

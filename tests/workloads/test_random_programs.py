@@ -1,0 +1,46 @@
+"""Unit tests for the random program generator."""
+
+from repro.isa.interpreter import run_program
+from repro.workloads.random_programs import RandomProgramConfig, random_program
+
+
+def test_determinism():
+    a = random_program(42)
+    b = random_program(42)
+    assert [str(i) for i in a.instructions] == [str(i) for i in b.instructions]
+    assert a.initial_memory == b.initial_memory
+
+
+def test_different_seeds_differ():
+    a = random_program(1)
+    b = random_program(2)
+    assert [str(i) for i in a.instructions] != [str(i) for i in b.instructions]
+
+
+def test_every_program_halts():
+    for seed in range(30):
+        result = run_program(random_program(seed), max_instructions=500_000)
+        assert result.halted, f"seed {seed} did not halt"
+
+
+def test_memory_accesses_stay_in_bounds():
+    from repro.workloads.random_programs import _MEM_BASE, _MEM_MASK
+    for seed in range(10):
+        result = run_program(random_program(seed), max_instructions=500_000)
+        for address in result.state.memory:
+            assert _MEM_BASE <= address < _MEM_BASE + _MEM_MASK + 16 + 8, \
+                hex(address)
+
+
+def test_config_knobs_shape_the_program():
+    loopy = random_program(5, RandomProgramConfig(blocks=20,
+                                                  loop_probability=0.9,
+                                                  branch_probability=0.0))
+    branchy = random_program(5, RandomProgramConfig(blocks=20,
+                                                    loop_probability=0.0,
+                                                    branch_probability=0.9))
+    loop_branches = sum(1 for i in loopy.instructions if i.op == "BNE")
+    cond_branches = sum(1 for i in branchy.instructions
+                        if i.info.kind.name == "BRANCH")
+    assert loop_branches >= 5
+    assert cond_branches >= 5

@@ -1,0 +1,58 @@
+"""Every registered workload must run correctly on every relevant engine."""
+
+import pytest
+
+from repro.core.attack_model import AttackModel
+from repro.harness.configs import make_engine
+from repro.workloads.registry import (CATEGORY_CT, CATEGORY_SPEC, WORKLOADS,
+                                      ct_workloads, get, spec_workloads)
+
+from tests.conftest import assert_matches_interpreter
+
+
+def test_registry_is_complete():
+    assert len(spec_workloads()) >= 15
+    assert len(ct_workloads()) == 3
+    names = set(WORKLOADS)
+    assert {"perlbench", "gcc", "mcf", "omnetpp", "xalancbmk", "x264",
+            "deepsjeng", "leela", "exchange2", "xz", "bwaves", "cactuBSSN",
+            "namd", "parest", "povray", "fotonik3d", "lbm"} <= names
+    assert {"aes-bitslice", "chacha20", "djbsort"} <= names
+
+
+def test_get_unknown_raises():
+    with pytest.raises(KeyError):
+        get("nonexistent")
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_matches_interpreter_on_unsafe(name):
+    program = get(name).program(scale=1)
+    sim = assert_matches_interpreter(program, max_instructions=60_000)
+    assert sim.retired > 100, "workload too small to be meaningful"
+
+
+@pytest.mark.parametrize("name", ["mcf", "xz", "chacha20", "djbsort",
+                                  "omnetpp"])
+@pytest.mark.parametrize("config", ["SPT{Bwd,ShadowL1}", "STT",
+                                    "SecureBaseline"])
+def test_key_workloads_match_under_protection(name, config):
+    program = get(name).program(scale=1)
+    engine = make_engine(config, AttackModel.FUTURISTIC)
+    assert_matches_interpreter(program, engine=engine,
+                               max_instructions=8_000)
+
+
+def test_scale_parameter_scales_work():
+    small = get("mcf").program(scale=1)
+    from repro.isa.interpreter import run_program
+    r1 = run_program(small, max_instructions=200_000)
+    r2 = run_program(get("mcf").program(scale=2), max_instructions=400_000)
+    assert r2.retired > 1.5 * r1.retired
+
+
+def test_categories():
+    for workload in spec_workloads():
+        assert workload.category == CATEGORY_SPEC
+    for workload in ct_workloads():
+        assert workload.category == CATEGORY_CT
