@@ -13,7 +13,10 @@ from repro.experiments import figure7
 
 
 def test_figure7_full_sweep(once):
-    data = once(figure7.collect, budget=budget(), scale=scale())
+    # use_cache=False: this bench tracks simulation throughput; the cache
+    # paths are measured by bench_parallel.py.
+    data = once(figure7.collect, budget=budget(), scale=scale(),
+                use_cache=False)
     emit("figure7", figure7.render(data) + "\n\n"
          + figure7.render_headline(figure7.headline(data)))
     # Shape assertions (Section 9.2): SPT beats SecureBaseline on average in

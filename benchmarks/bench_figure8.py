@@ -6,7 +6,8 @@ from repro.experiments import figure8
 
 
 def test_figure8_breakdown(once):
-    data = once(figure8.collect, budget=budget(), scale=scale())
+    data = once(figure8.collect, budget=budget(), scale=scale(),
+                use_cache=False)
     emit("figure8", figure8.render(data))
     # At least one benchmark must exercise each of the main mechanisms.
     all_kinds = set()

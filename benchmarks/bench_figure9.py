@@ -6,7 +6,8 @@ from repro.experiments import figure9
 
 
 def test_figure9_cdf(once):
-    data = once(figure9.collect, budget=budget(), scale=scale())
+    data = once(figure9.collect, budget=budget(), scale=scale(),
+                use_cache=False)
     emit("figure9", figure9.render(data))
     average = data.average_cdf()
     # Paper: ~81% of untainting cycles untaint at most 3 registers; assert

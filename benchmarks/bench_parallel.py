@@ -1,0 +1,73 @@
+"""Harness throughput: Figure 7 sweep serial vs. parallel vs. warm cache.
+
+Tracks the wall-clock of the same sweep through the three execution paths
+of ``repro.harness.parallel.run_many`` so the speedup (and any regression
+in pool startup or cache lookup cost) lands in the bench trajectory.  The
+sweep is a representative slice of Figure 7 — one attack model, six
+workloads, the full configuration column — to keep the three passes
+bounded on small runners.
+"""
+
+import os
+import tempfile
+import time
+
+from conftest import budget, emit, scale
+
+from repro.core.attack_model import AttackModel
+from repro.harness.configs import FIGURE7_ORDER
+from repro.harness.parallel import default_jobs, run_many
+from repro.experiments import figure7
+
+WORKLOADS = ["mcf", "xz", "gcc", "leela", "chacha20", "djbsort"]
+MODELS = [AttackModel.FUTURISTIC]
+
+
+def _sweep_specs():
+    return figure7.specs(WORKLOADS, FIGURE7_ORDER, MODELS,
+                         scale(), budget())
+
+
+def test_parallel_sweep_speedup(once):
+    jobs = default_jobs()
+    specs = _sweep_specs()
+
+    def three_passes():
+        timings = {}
+        start = time.perf_counter()
+        serial = run_many(specs, jobs=1, use_cache=False)
+        timings["serial"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_many(specs, jobs=jobs, use_cache=False)
+        timings["parallel"] = time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as cache_dir:
+            os.environ["REPRO_CACHE_DIR"] = cache_dir
+            try:
+                run_many(specs, jobs=jobs, use_cache=True)   # fill
+                start = time.perf_counter()
+                warm = run_many(specs, jobs=jobs, use_cache=True)
+                timings["warm-cache"] = time.perf_counter() - start
+            finally:
+                del os.environ["REPRO_CACHE_DIR"]
+        return timings, serial, parallel, warm
+
+    timings, serial, parallel, warm = once(three_passes)
+
+    for a, b in ((serial, parallel), (serial, warm)):
+        assert [(r.cycles, r.retired) for r in a] == \
+            [(r.cycles, r.retired) for r in b], "paths disagree"
+
+    lines = [f"Figure 7 slice ({len(specs)} runs, {len(WORKLOADS)} workloads"
+             f" x {len(FIGURE7_ORDER) + 1} configs, budget={budget()},"
+             f" jobs={jobs}):"]
+    for name in ("serial", "parallel", "warm-cache"):
+        speedup = timings["serial"] / max(timings[name], 1e-9)
+        lines.append(f"  {name:<12} {timings[name]:8.2f}s"
+                     f"  ({speedup:5.1f}x vs serial)")
+    emit("parallel_harness", "\n".join(lines))
+
+    # The warm cache must be dramatically cheaper than simulating; the
+    # parallel/serial ratio is informational (it depends on core count).
+    assert timings["warm-cache"] < timings["serial"] / 2

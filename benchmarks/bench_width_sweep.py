@@ -7,7 +7,7 @@ from repro.experiments import figure9
 
 def test_width_sweep(once):
     sweep = once(figure9.width_sweep, widths=(1, 2, 3, 4, 8),
-                 budget=budget(), scale=scale())
+                 budget=budget(), scale=scale(), use_cache=False)
     emit("width_sweep", figure9.render_width_sweep(sweep))
     cycles = sweep["cycles"]
     for workload in sweep["workloads"]:

@@ -11,6 +11,8 @@ import time
 
 import pytest
 
+from repro.harness.runner import bench_budget, bench_scale
+
 DEFAULT_BUDGET = 800
 
 _OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
@@ -18,11 +20,11 @@ _SESSION_START = None
 
 
 def budget() -> int:
-    return int(os.environ.get("REPRO_BENCH_BUDGET", DEFAULT_BUDGET))
+    return bench_budget(DEFAULT_BUDGET)
 
 
 def scale() -> int:
-    return int(os.environ.get("REPRO_BENCH_SCALE", 1))
+    return bench_scale()
 
 
 @pytest.fixture

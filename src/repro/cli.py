@@ -39,6 +39,9 @@ from repro.core.baselines import SecureBaseline, UnsafeBaseline
 from repro.core.shadow_l1 import ShadowMode
 from repro.core.spt import SPTEngine
 from repro.core.stt import STTEngine
+from repro.harness.configs import CONFIGURATIONS
+from repro.harness.parallel import RunSpec, run_many
+from repro.harness.runner import RunResult
 from repro.isa.assembler import assemble
 from repro.isa.instructions import Program
 from repro.pipeline.core import OoOCore
@@ -52,8 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="run_spt",
         description="Run a program on the SPT reproduction simulator "
                     "(parameters mirror the paper's artifact).")
-    parser.add_argument("executable",
-                        help="registered workload name or path to a .asm file")
+    parser.add_argument("executable", nargs="+",
+                        help="registered workload name(s) or path(s) to "
+                             ".asm files; several run as one parallel sweep")
     parser.add_argument("--enable-spt", action="store_true",
                         help="enable SPT's protection mechanism")
     parser.add_argument("--stt", action="store_true",
@@ -73,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scale", type=int, default=1,
                         help="workload scale factor")
     parser.add_argument("--untaint-broadcast-width", type=int, default=3)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache "
+                             "(also: REPRO_NO_CACHE=1)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for multi-workload sweeps "
+                             "(default: REPRO_JOBS or CPU count)")
     return parser
 
 
@@ -117,6 +127,30 @@ def make_engine_from_args(args: argparse.Namespace) -> ProtectionEngine:
                      ideal=args.untaint_method == "ideal")
 
 
+def config_name_from_args(args: argparse.Namespace) -> Optional[str]:
+    """Map the artifact flags onto a Table 2 configuration name.
+
+    Returns None for combinations outside Table 2 (those run directly
+    rather than through the cached ``run_many`` path).
+    """
+    if not args.enable_spt and not args.stt:
+        return "UnsafeBaseline"
+    if args.stt:
+        return "STT"
+    if args.untaint_method == "none":
+        return "SecureBaseline"
+    if args.enable_shadow_mem:
+        shadow = "ShadowMem"
+    elif args.enable_shadow_l1:
+        shadow = "ShadowL1"
+    else:
+        shadow = "NoShadowL1"
+    untaint = {"fwd": "Fwd", "bwd": "Bwd", "ideal": "Ideal"}[
+        args.untaint_method]
+    name = f"SPT{{{untaint},{shadow}}}"
+    return name if name in CONFIGURATIONS else None
+
+
 def load_program(executable: str, scale: int) -> Program:
     if executable in WORKLOADS:
         return get_workload(executable).program(scale)
@@ -149,36 +183,119 @@ def format_stats(sim, engine: ProtectionEngine) -> str:
     return "\n".join(lines) + "\n"
 
 
+def format_stats_result(result: RunResult) -> str:
+    """gem5-style stats.txt body from a harness ``RunResult``.
+
+    Mirrors :func:`format_stats`; ``result.stats`` already carries the
+    engine counters merged in by ``SimResult``.
+    """
+    lines = [
+        "---------- Begin Simulation Statistics ----------",
+        f"numCycles {result.cycles:>40} # total cycles simulated",
+        f"committedInsts {result.retired:>36} # instructions retired",
+        f"ipc {format(result.ipc, '.6f'):>47} # committed IPC",
+        f"configName {result.config:>40} # protection configuration",
+    ]
+    for key in sorted(result.stats):
+        lines.append(f"{key} {result.stats[key]:>{max(1, 50 - len(key))}} #")
+    if result.untaint_by_kind:
+        for kind, count in sorted(result.untaint_by_kind.items()):
+            name = f"untaint::{kind}"
+            lines.append(f"{name} {count:>{max(1, 50 - len(name))}} #")
+        total = sum(result.untaint_by_kind.values())
+        lines.append(f"untaint::total {total:>36} #")
+    lines.append("---------- End Simulation Statistics   ----------")
+    return "\n".join(lines) + "\n"
+
+
+def _print_track_insts(untaint_by_kind: dict, untaints_per_cycle: dict) -> None:
+    print("untaint events:")
+    for kind, count in sorted(untaint_by_kind.items()):
+        print(f"  {kind:<16} {count}")
+    if untaints_per_cycle:
+        print("registers untainted per untainting cycle:")
+        for width in sorted(untaints_per_cycle):
+            print(f"  {width:>3}: {untaints_per_cycle[width]}")
+
+
+def _stats_filename(executable: str, multiple: bool) -> str:
+    if not multiple:
+        return "stats.txt"
+    stem = os.path.splitext(os.path.basename(executable))[0]
+    return f"stats_{stem}.txt"
+
+
+def _run_direct(args: argparse.Namespace, executable: str,
+                params: MachineParams) -> tuple:
+    """The uncached path: .asm files and non-Table-2 flag combinations."""
+    program = load_program(executable, args.scale)
+    engine = make_engine_from_args(args)
+    sim = OoOCore(program, engine=engine, params=params).run(
+        max_instructions=args.max_instructions)
+    untaint_by_kind: dict = {}
+    untaints_per_cycle: dict = {}
+    if isinstance(engine, SPTEngine):
+        untaint_by_kind = engine.untaint.as_dict()
+        untaints_per_cycle = dict(engine.untaint.untaints_per_cycle)
+    result = RunResult(program.name, engine.name,
+                       AttackModel(args.threat_model) if args.threat_model
+                       else AttackModel.FUTURISTIC,
+                       sim.cycles, sim.retired, sim.stats,
+                       untaint_by_kind, untaints_per_cycle)
+    return result, format_stats(sim, engine)
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     error = validate_args(args)
     if error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    program = load_program(args.executable, args.scale)
-    engine = make_engine_from_args(args)
     params = MachineParams(
         untaint_broadcast_width=args.untaint_broadcast_width)
-    sim = OoOCore(program, engine=engine, params=params).run(
-        max_instructions=args.max_instructions)
+    model = (AttackModel(args.threat_model) if args.threat_model
+             else AttackModel.FUTURISTIC)
+    config_name = config_name_from_args(args)
+    use_cache = False if args.no_cache else None
+
+    # Registered workloads under a Table 2 configuration go through the
+    # cached parallel harness as one spec list; everything else (.asm
+    # files, off-table flag combinations) runs directly.
+    sweep: list = []            # (executable, RunSpec)
+    direct: list = []           # executable
+    for executable in args.executable:
+        if config_name is not None and executable in WORKLOADS:
+            sweep.append((executable, RunSpec(
+                executable, config_name, model, scale=args.scale,
+                max_instructions=args.max_instructions, params=params)))
+        else:
+            load_program(executable, args.scale)    # fail fast on bad input
+            direct.append(executable)
+
+    outputs: list = []          # (executable, RunResult, stats text)
+    if sweep:
+        results = run_many([spec for _, spec in sweep], jobs=args.jobs,
+                           use_cache=use_cache)
+        for (executable, _), result in zip(sweep, results):
+            outputs.append((executable, result, format_stats_result(result)))
+    for executable in direct:
+        result, text = _run_direct(args, executable, params)
+        outputs.append((executable, result, text))
 
     os.makedirs(args.output_dir, exist_ok=True)
-    stats_path = os.path.join(args.output_dir, "stats.txt")
-    with open(stats_path, "w") as handle:
-        handle.write(format_stats(sim, engine))
-
-    print(f"{program.name}: {sim.retired} instructions, {sim.cycles} cycles "
-          f"(IPC {sim.ipc:.2f}) under {engine.name}")
-    print(f"stats written to {stats_path}")
-    if args.track_insts and isinstance(engine, SPTEngine):
-        print("untaint events:")
-        for kind, count in sorted(engine.untaint.as_dict().items()):
-            print(f"  {kind:<16} {count}")
-        histogram = engine.untaint.untaints_per_cycle
-        if histogram:
-            print("registers untainted per untainting cycle:")
-            for width in sorted(histogram):
-                print(f"  {width:>3}: {histogram[width]}")
+    multiple = len(args.executable) > 1
+    for executable, result, text in outputs:
+        stats_path = os.path.join(args.output_dir,
+                                  _stats_filename(executable, multiple))
+        with open(stats_path, "w") as handle:
+            handle.write(text)
+        print(f"{result.workload}: {result.retired} instructions, "
+              f"{result.cycles} cycles (IPC {result.ipc:.2f}) "
+              f"under {result.config}")
+        print(f"stats written to {stats_path}")
+        if args.track_insts and result.untaint_by_kind:
+            _print_track_insts(result.untaint_by_kind,
+                               result.untaints_per_cycle)
     return 0
 
 

@@ -14,8 +14,9 @@ from typing import Optional, Sequence
 
 from repro.core.attack_model import AttackModel
 from repro.harness.configs import FIGURE7_ORDER, FULL_SPT
+from repro.harness.parallel import RunSpec, run_many
 from repro.harness.report import format_table, geomean, mean
-from repro.harness.runner import RunResult, bench_budget, bench_scale, run_one
+from repro.harness.runner import RunResult, bench_budget, bench_scale
 from repro.workloads.registry import WORKLOADS, ct_workloads, spec_workloads
 
 
@@ -43,11 +44,28 @@ class Figure7Data:
         return geomean([self.normalized(model, w, config) for w in names])
 
 
+def specs(workloads: Sequence[str], configs: Sequence[str],
+          models: Sequence[AttackModel], scale: int,
+          budget: Optional[int]) -> list:
+    """The Figure 7 sweep as a flat spec list: baseline first per cell."""
+    out = []
+    for model in models:
+        for workload in workloads:
+            out.append(RunSpec(workload, "UnsafeBaseline", model,
+                               scale=scale, max_instructions=budget))
+            for config in configs:
+                out.append(RunSpec(workload, config, model,
+                                   scale=scale, max_instructions=budget))
+    return out
+
+
 def collect(workloads: Optional[Sequence[str]] = None,
             configs: Optional[Sequence[str]] = None,
             models: Optional[Sequence[AttackModel]] = None,
             scale: Optional[int] = None,
-            budget: Optional[int] = None) -> Figure7Data:
+            budget: Optional[int] = None,
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Figure7Data:
     """Run the Figure 7 sweep and return normalised execution times."""
     workloads = list(workloads or WORKLOADS)
     configs = list(configs or FIGURE7_ORDER)
@@ -55,15 +73,14 @@ def collect(workloads: Optional[Sequence[str]] = None,
     scale = scale or bench_scale()
     budget = budget or bench_budget()
     data = Figure7Data(workloads=workloads, configs=configs, models=models)
+    results = iter(run_many(specs(workloads, configs, models, scale, budget),
+                            jobs=jobs, use_cache=use_cache))
     for model in models:
         for workload in workloads:
-            baseline = run_one(workload, "UnsafeBaseline", model,
-                               scale=scale, max_instructions=budget)
+            baseline = next(results)
             for config in configs:
-                result = run_one(workload, config, model,
-                                 scale=scale, max_instructions=budget)
                 data.times[(model, workload, config)] = \
-                    _normalized(result, baseline)
+                    _normalized(next(results), baseline)
     return data
 
 

@@ -14,8 +14,9 @@ from typing import Optional, Sequence
 from repro.core.attack_model import AttackModel
 from repro.core.events import UntaintKind
 from repro.harness.configs import FULL_SPT
+from repro.harness.parallel import RunSpec, run_many
 from repro.harness.report import format_table
-from repro.harness.runner import bench_budget, bench_scale, run_one
+from repro.harness.runner import bench_budget, bench_scale
 from repro.workloads.registry import WORKLOADS
 
 KIND_ORDER = [
@@ -46,17 +47,22 @@ def collect(workloads: Optional[Sequence[str]] = None,
             models: Optional[Sequence[AttackModel]] = None,
             config: str = FULL_SPT,
             scale: Optional[int] = None,
-            budget: Optional[int] = None) -> Figure8Data:
+            budget: Optional[int] = None,
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Figure8Data:
     workloads = list(workloads or WORKLOADS)
     models = list(models or (AttackModel.FUTURISTIC, AttackModel.SPECTRE))
     scale = scale or bench_scale()
     budget = budget or bench_budget()
     data = Figure8Data(workloads=workloads, models=models)
+    specs = [RunSpec(workload, config, model, scale=scale,
+                     max_instructions=budget)
+             for model in models for workload in workloads]
+    results = iter(run_many(specs, jobs=jobs, use_cache=use_cache))
     for model in models:
         for workload in workloads:
-            result = run_one(workload, config, model, scale=scale,
-                             max_instructions=budget)
-            data.counts[(model, workload)] = dict(result.untaint_by_kind)
+            data.counts[(model, workload)] = \
+                dict(next(results).untaint_by_kind)
     return data
 
 

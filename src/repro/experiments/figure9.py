@@ -17,8 +17,9 @@ from typing import Optional, Sequence
 
 from repro.core.attack_model import AttackModel
 from repro.harness.configs import FULL_SPT
+from repro.harness.parallel import RunSpec, run_many
 from repro.harness.report import format_table, mean
-from repro.harness.runner import bench_budget, bench_scale, run_one
+from repro.harness.runner import bench_budget, bench_scale
 from repro.pipeline.params import MachineParams
 from repro.workloads.registry import spec_workloads
 
@@ -54,16 +55,21 @@ class Figure9Data:
 def collect(workloads: Optional[Sequence[str]] = None,
             model: AttackModel = AttackModel.FUTURISTIC,
             scale: Optional[int] = None,
-            budget: Optional[int] = None) -> Figure9Data:
+            budget: Optional[int] = None,
+            jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None) -> Figure9Data:
     workloads = list(workloads or [w.name for w in spec_workloads()])
     scale = scale or bench_scale()
     budget = budget or bench_budget()
     data = Figure9Data(workloads=workloads)
-    for workload in workloads:
-        result = run_one(workload, "SPT{Ideal,ShadowMem}", model,
-                         scale=scale, max_instructions=budget)
-        histogram = {n: c for n, c in result.untaints_per_cycle.items() if n > 0}
-        data.histograms[workload] = histogram
+    specs = [RunSpec(workload, "SPT{Ideal,ShadowMem}", model, scale=scale,
+                     max_instructions=budget)
+             for workload in workloads]
+    for workload, result in zip(workloads,
+                                run_many(specs, jobs=jobs,
+                                         use_cache=use_cache)):
+        data.histograms[workload] = {
+            n: c for n, c in result.untaints_per_cycle.items() if n > 0}
     return data
 
 
@@ -83,19 +89,21 @@ def width_sweep(widths: Sequence[int] = (1, 2, 3, 4, 8),
                 workloads: Optional[Sequence[str]] = None,
                 model: AttackModel = AttackModel.FUTURISTIC,
                 scale: Optional[int] = None,
-                budget: Optional[int] = None) -> dict:
+                budget: Optional[int] = None,
+                jobs: Optional[int] = None,
+                use_cache: Optional[bool] = None) -> dict:
     """Section 9.4 ablation: cycles of full SPT vs. broadcast width."""
     workloads = list(workloads or
                      [w.name for w in spec_workloads()][:6])
     scale = scale or bench_scale()
     budget = budget or bench_budget()
-    cycles: dict = {}
-    for width in widths:
-        params = MachineParams(untaint_broadcast_width=width)
-        for workload in workloads:
-            result = run_one(workload, FULL_SPT, model, scale=scale,
-                             max_instructions=budget, params=params)
-            cycles[(width, workload)] = result.cycles
+    keys = [(width, workload) for width in widths for workload in workloads]
+    specs = [RunSpec(workload, FULL_SPT, model, scale=scale,
+                     max_instructions=budget,
+                     params=MachineParams(untaint_broadcast_width=width))
+             for width, workload in keys]
+    results = run_many(specs, jobs=jobs, use_cache=use_cache)
+    cycles = {key: result.cycles for key, result in zip(keys, results)}
     return {"cycles": cycles, "widths": list(widths), "workloads": workloads}
 
 

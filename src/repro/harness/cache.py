@@ -1,0 +1,172 @@
+"""Persistent on-disk result cache for experiment runs.
+
+Every simulation is a pure function of (workload, scale, configuration,
+attack model, budget, machine parameters, simulator source).  The cache
+keys a :class:`~repro.harness.runner.RunResult` by a content hash of all
+of those inputs, so re-rendering a table after a sweep — or sharing the
+``UnsafeBaseline`` runs between Figure 7 and Figure 8 — costs zero
+simulation time, while any change to ``src/repro`` invalidates cleanly
+through the source fingerprint.
+
+Layout: one JSON blob per result under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``).  Opt out with ``REPRO_NO_CACHE=1`` or the
+``cache=False`` argument to :func:`~repro.harness.parallel.run_many`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+import repro
+from repro.core.attack_model import AttackModel
+from repro.harness.configs import CONFIGURATIONS
+from repro.harness.runner import RunResult
+from repro.pipeline.params import MachineParams
+
+# Bump when the cached-blob layout changes (keys everything to a new slot).
+CACHE_VERSION = 1
+
+_FINGERPRINT: Optional[str] = None
+
+
+def cache_dir() -> str:
+    """Cache root: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a non-empty, non-zero value."""
+    flag = os.environ.get("REPRO_NO_CACHE", "")
+    return flag in ("", "0")
+
+
+def source_fingerprint() -> str:
+    """Content hash of every ``.py`` file under ``src/repro``.
+
+    Memoised per process: the source tree does not change mid-run, and the
+    full walk costs a few milliseconds we do not want on every lookup.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        digest = hashlib.sha256()
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def result_key(workload: str, config: str, model: AttackModel,
+               scale: int, max_instructions: Optional[int],
+               params: Optional[MachineParams]) -> str:
+    """Content hash identifying one simulation's full input set.
+
+    Model-independent configurations (``needs_model=False``, e.g.
+    ``UnsafeBaseline``) hash to the same key under every attack model, so
+    the baseline runs are simulated once and shared across sweep panels.
+    The ``model`` field of a result served from such a shared slot
+    reflects whichever request ran first.
+    """
+    model_value = model.value
+    known = CONFIGURATIONS.get(config)
+    if known is not None and not known.needs_model:
+        model_value = "model-independent"
+    payload = {
+        "version": CACHE_VERSION,
+        "workload": workload,
+        "config": config,
+        "model": model_value,
+        "scale": scale,
+        "max_instructions": max_instructions,
+        "params": dataclasses.asdict(params or MachineParams()),
+        "source": source_fingerprint(),
+    }
+    text = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _path_for(key: str) -> str:
+    return os.path.join(cache_dir(), f"{key}.json")
+
+
+def load(key: str) -> Optional[RunResult]:
+    """Return the cached result for ``key``, or None on a miss."""
+    try:
+        with open(_path_for(key)) as handle:
+            blob = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    try:
+        return RunResult(
+            workload=blob["workload"],
+            config=blob["config"],
+            model=AttackModel(blob["model"]),
+            cycles=blob["cycles"],
+            retired=blob["retired"],
+            stats=blob["stats"],
+            untaint_by_kind=blob["untaint_by_kind"],
+            # JSON stringifies integer keys; restore them.
+            untaints_per_cycle={int(k): v for k, v
+                                in blob["untaints_per_cycle"].items()},
+        )
+    except (KeyError, ValueError):
+        return None     # stale/corrupt blob: treat as a miss
+
+
+def store(key: str, result: RunResult) -> None:
+    """Persist ``result`` under ``key`` (atomic, best-effort)."""
+    blob = {
+        "workload": result.workload,
+        "config": result.config,
+        "model": result.model.value,
+        "cycles": result.cycles,
+        "retired": result.retired,
+        "stats": result.stats,
+        "untaint_by_kind": result.untaint_by_kind,
+        "untaints_per_cycle": result.untaints_per_cycle,
+    }
+    directory = cache_dir()
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(blob, handle)
+            os.replace(tmp, _path_for(key))
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass    # a read-only or full cache dir must never fail the run
+
+
+def clear() -> int:
+    """Delete every cached result; returns the number removed."""
+    removed = 0
+    try:
+        entries = os.listdir(cache_dir())
+    except OSError:
+        return 0
+    for filename in entries:
+        if filename.endswith(".json"):
+            try:
+                os.unlink(os.path.join(cache_dir(), filename))
+                removed += 1
+            except OSError:
+                pass
+    return removed

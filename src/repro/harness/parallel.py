@@ -1,0 +1,193 @@
+"""Parallel experiment fan-out with result caching.
+
+Every paper artefact (Figures 7/8/9, the CLI sweeps, the benches) is a
+sweep of independent (workload, configuration, attack model) simulations.
+:func:`run_many` is the shared substrate: it expresses a sweep as a list
+of :class:`RunSpec` values, deduplicates identical specs, satisfies what
+it can from the persistent result cache, fans the misses across a
+``ProcessPoolExecutor`` (worker count from ``REPRO_JOBS``, default
+``os.cpu_count()``), and returns results in spec order regardless of
+completion order.
+
+Degradation is graceful at every layer: ``REPRO_JOBS=1`` runs serially
+in-process (the debuggable path), and a pool that cannot start (no
+``fork``/``spawn`` support, sandboxed semaphores, ...) falls back to the
+serial path rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.attack_model import AttackModel
+from repro.harness import cache
+from repro.harness.runner import RunResult, _env_int, run_one
+from repro.pipeline.params import MachineParams
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation request: the full input set of ``run_one``."""
+
+    workload: str
+    config: str
+    model: AttackModel = AttackModel.FUTURISTIC
+    scale: int = 1
+    max_instructions: Optional[int] = None
+    params: Optional[MachineParams] = None
+
+    def describe(self) -> str:
+        return (f"workload={self.workload} config={self.config} "
+                f"model={self.model.value} scale={self.scale} "
+                f"budget={self.max_instructions}")
+
+    def key(self) -> str:
+        return cache.result_key(self.workload, self.config, self.model,
+                                self.scale, self.max_instructions,
+                                self.params)
+
+
+class RunFailure(RuntimeError):
+    """A simulation in a sweep failed; names the offending spec."""
+
+    def __init__(self, spec: RunSpec, cause: str):
+        super().__init__(f"run failed ({spec.describe()}): {cause}")
+        self.spec = spec
+        self.cause = cause
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` (validated) or ``os.cpu_count()``."""
+    return _env_int("REPRO_JOBS", os.cpu_count() or 1)
+
+
+def default_timeout() -> Optional[float]:
+    """Per-run timeout in seconds (``REPRO_RUN_TIMEOUT``; unset = none)."""
+    raw = os.environ.get("REPRO_RUN_TIMEOUT")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RUN_TIMEOUT must be a number of seconds, got {raw!r}")
+    if value <= 0:
+        raise ValueError(
+            f"REPRO_RUN_TIMEOUT must be positive, got {value}")
+    return value
+
+
+def _execute_spec(spec: RunSpec) -> RunResult:
+    """Worker entry point (module-level so it pickles)."""
+    return run_one(spec.workload, spec.config, spec.model,
+                   scale=spec.scale, max_instructions=spec.max_instructions,
+                   params=spec.params)
+
+
+def _run_serial(specs: Sequence[RunSpec]) -> list:
+    results = []
+    for spec in specs:
+        try:
+            results.append(_execute_spec(spec))
+        except Exception as exc:
+            raise RunFailure(spec, f"{type(exc).__name__}: {exc}") from exc
+    return results
+
+
+def _run_pool(specs: Sequence[RunSpec], jobs: int,
+              timeout: Optional[float]) -> Optional[list]:
+    """Fan ``specs`` across a process pool; None if the pool cannot start.
+
+    The per-run ``timeout`` is enforced as a bound on each future's result,
+    collected in submission order: while earlier runs are being awaited the
+    later ones execute concurrently, so a run that exceeds its bound is
+    caught within ``timeout`` seconds of becoming the collection head
+    (approximate when more runs are queued than workers, exact otherwise).
+    """
+    try:
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    except (OSError, ValueError, NotImplementedError, ImportError):
+        return None
+    results: list = []
+    with pool:
+        try:
+            futures = [pool.submit(_execute_spec, spec) for spec in specs]
+        except (OSError, RuntimeError):
+            return None        # pool died before accepting work
+        for spec, future in zip(specs, futures):
+            try:
+                results.append(future.result(timeout=timeout))
+            except concurrent.futures.process.BrokenProcessPool:
+                return None    # workers died (OOM, signal): retry serially
+            except concurrent.futures.TimeoutError:
+                for pending in futures:
+                    pending.cancel()
+                raise RunFailure(spec, f"exceeded the {timeout}s run timeout")
+            except Exception as exc:
+                for pending in futures:
+                    pending.cancel()
+                raise RunFailure(
+                    spec, f"{type(exc).__name__}: {exc}") from exc
+    return results
+
+
+def run_many(specs: Sequence[RunSpec],
+             jobs: Optional[int] = None,
+             timeout: Optional[float] = None,
+             use_cache: Optional[bool] = None) -> list:
+    """Run every spec and return ``RunResult``s in spec order.
+
+    Identical specs are simulated once.  ``use_cache=None`` consults the
+    environment (``REPRO_NO_CACHE``); pass an explicit bool to override.
+    ``jobs=None`` reads ``REPRO_JOBS`` / CPU count; ``jobs=1`` forces the
+    in-process serial path.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    if jobs is None:
+        jobs = default_jobs()
+    elif jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if timeout is None:
+        timeout = default_timeout()
+    if use_cache is None:
+        use_cache = cache.cache_enabled()
+
+    keys = [spec.key() for spec in specs]
+    results: list = [None] * len(specs)
+    if use_cache:
+        for index, key in enumerate(keys):
+            results[index] = cache.load(key)
+
+    # Deduplicate the misses: one simulation per distinct key.
+    miss_keys: list = []
+    miss_specs: list = []
+    first_index: dict = {}
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if results[index] is not None or key in first_index:
+            continue
+        first_index[key] = index
+        miss_keys.append(key)
+        miss_specs.append(spec)
+
+    if miss_specs:
+        computed = None
+        if jobs > 1 and len(miss_specs) > 1:
+            computed = _run_pool(miss_specs, jobs, timeout)
+        if computed is None:
+            computed = _run_serial(miss_specs)
+        for key, spec, result in zip(miss_keys, miss_specs, computed):
+            results[first_index[key]] = result
+            if use_cache:
+                cache.store(key, result)
+
+    # Fan shared results back onto duplicate/missed slots.
+    by_key = {key: results[index] for key, index in first_index.items()}
+    for index, key in enumerate(keys):
+        if results[index] is None:
+            results[index] = by_key[key]
+    return results

@@ -14,14 +14,29 @@ from repro.pipeline.params import MachineParams
 from repro.workloads.registry import get as get_workload
 
 
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    """Read a positive integer from the environment with a clear error."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
 def bench_budget(default: int = 2500) -> int:
     """Per-run retired-instruction budget (env: REPRO_BENCH_BUDGET)."""
-    return int(os.environ.get("REPRO_BENCH_BUDGET", default))
+    return _env_int("REPRO_BENCH_BUDGET", default)
 
 
 def bench_scale(default: int = 1) -> int:
     """Workload scale factor (env: REPRO_BENCH_SCALE)."""
-    return int(os.environ.get("REPRO_BENCH_SCALE", default))
+    return _env_int("REPRO_BENCH_SCALE", default)
 
 
 @dataclass

@@ -29,14 +29,17 @@ class HierarchyParams:
     mshrs: int = 16
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one hierarchy access."""
+    """Outcome of one hierarchy access (slotted: one is built per access)."""
 
-    latency: int
-    level: str                 # "L1D", "L2", "L3" or "DRAM"
-    l1_evicted_line: Optional[int]
-    stalled: bool = False      # MSHRs exhausted; caller must retry
+    __slots__ = ("latency", "level", "l1_evicted_line", "stalled")
+
+    def __init__(self, latency: int, level: str,
+                 l1_evicted_line: Optional[int], stalled: bool = False):
+        self.latency = latency
+        self.level = level                      # "L1D", "L2", "L3" or "DRAM"
+        self.l1_evicted_line = l1_evicted_line
+        self.stalled = stalled                  # MSHRs exhausted; retry
 
 
 class MemoryHierarchy:

@@ -40,6 +40,7 @@ class SimResult:
     """Outcome of one simulation run."""
 
     def __init__(self, core: "OoOCore", halted: bool):
+        core._flush_stat_counters()
         self.cycles = core.cycle
         self.retired = core.retired_count
         self.halted = halted
@@ -115,16 +116,30 @@ class OoOCore:
             "loads_forwarded": 0, "loads_forwarded_with_cache_access": 0,
             "mem_order_violations": 0,
         }
+        # Hot-path counters kept as plain attributes (a dict increment per
+        # delayed transmitter per cycle dominates the issue loop otherwise);
+        # folded into ``stats`` by ``_flush_stat_counters``.
+        self._transmitters_delayed = 0
+        self._resolutions_delayed = 0
+        self._lq_used = 0
+        self._sq_used = 0
         self.engine.attach(self)
+
+    def _flush_stat_counters(self) -> None:
+        """Fold the local hot-path counters into the ``stats`` dict."""
+        self.stats["transmitters_delayed_cycles"] += self._transmitters_delayed
+        self.stats["resolutions_delayed_cycles"] += self._resolutions_delayed
+        self._transmitters_delayed = 0
+        self._resolutions_delayed = 0
 
     # ----------------------------------------------------------------- utils
     def rob_occupancy(self) -> int:
         return len(self.rob) - self.rob_head
 
     def in_flight(self):
-        """Iterate the live window, oldest first."""
-        for index in range(self.rob_head, len(self.rob)):
-            yield self.rob[index]
+        """The live window, oldest first (a snapshot list: the engines
+        iterate it several times per cycle and a slice beats a generator)."""
+        return self.rob[self.rob_head:]
 
     def head_inst(self) -> Optional[DynInst]:
         if self.rob_head < len(self.rob):
@@ -186,23 +201,38 @@ class OoOCore:
         issued = 0
         width = self.params.issue_width
         remaining: list[DynInst] = []
-        rename = self.rename
+        append = remaining.append
+        # Hoisted out of the loop: the readiness test runs once per RS entry
+        # per cycle, so the RAT's ready list is indexed directly instead of
+        # going through two attribute lookups and a method call.
+        ready = self.rename.ready
+        may_compute_address = self.engine.may_compute_address
+        delayed = 0
         for di in self.rs:
             if di.squashed:
                 continue
             if issued >= width:
-                remaining.append(di)
+                append(di)
                 continue
-            if not self._operands_ready_for_issue(di):
-                remaining.append(di)
+            prs1 = di.prs1
+            if not (prs1 < 0 or ready[prs1]):
+                append(di)
                 continue
+            if not di.is_store:
+                prs2 = di.prs2
+                if not (prs2 < 0 or ready[prs2]):
+                    append(di)
+                    continue
+            # Stores split address (rs1) from data (rs2): address issue only
+            # needs rs1; data is captured in the LSQ when it becomes ready.
             if di.is_transmitter and not (di.reached_vp
-                                          or self.engine.may_compute_address(di)):
-                self.stats["transmitters_delayed_cycles"] += 1
-                remaining.append(di)
+                                          or may_compute_address(di)):
+                delayed += 1
+                append(di)
                 continue
             self._execute(di)
             issued += 1
+        self._transmitters_delayed += delayed
         self.rs = remaining
 
     def _operands_ready_for_issue(self, di: DynInst) -> bool:
@@ -220,13 +250,13 @@ class OoOCore:
         di.issue_cycle = self.cycle
         rename = self.rename
         kind = di.kind
-        if di.inst.info.reads_rs1:
+        if di.info.reads_rs1:
             di.rs1_value = rename.read(di.prs1)
-        if not di.is_store and di.inst.info.reads_rs2:
+        if not di.is_store and di.info.reads_rs2:
             di.rs2_value = rename.read(di.prs2)
         if kind in (Kind.ALU, Kind.ALU_IMM, Kind.MOVE, Kind.LOAD_IMM):
             di.result = alu_result(di.inst, di.rs1_value or 0, di.rs2_value or 0)
-            self._schedule_completion(di, di.inst.info.latency)
+            self._schedule_completion(di, di.info.latency)
             return
         if kind == Kind.BRANCH:
             di.actual_taken = branch_taken(di.inst, di.rs1_value, di.rs2_value)
@@ -268,15 +298,19 @@ class OoOCore:
                 if not store.squashed:
                     self._check_memory_order_violation(store)
             self._pending_mds_checks.clear()
-        rename = self.rename
+        if not self.lsq:
+            return
+        ready = self.rename.ready
+        value = self.rename.value
         for di in self.lsq:
             if di.squashed:
                 continue
             if di.is_store:
-                if (not di.complete and di.addr_ready
-                        and rename.operand_ready(di.prs2)):
-                    di.rs2_value = rename.read(di.prs2)
-                    di.complete = True
+                if not di.complete and di.addr_ready:
+                    prs2 = di.prs2
+                    if prs2 < 0 or ready[prs2]:
+                        di.rs2_value = 0 if prs2 < 0 else value[prs2]
+                        di.complete = True
                 continue
             # Loads.
             if di.mem_complete or not di.addr_ready or di.mem_issued:
@@ -295,7 +329,7 @@ class OoOCore:
             load.fwding_st = forward_store.seq
             if self.engine.skip_cache_for_forwarding(load, forward_store):
                 load.load_value = self._truncate(forward_store.rs2_value,
-                                                 load.inst.info.mem_size)
+                                                 load.info.mem_size)
                 load.access_level = "FWD"
                 load.mem_issued = True
                 self._schedule_load_completion(load, 1)
@@ -310,10 +344,10 @@ class OoOCore:
         self.observer.load_access(self.cycle, line, access.level)
         if forward_store is not None:
             load.load_value = self._truncate(forward_store.rs2_value,
-                                             load.inst.info.mem_size)
+                                             load.info.mem_size)
         else:
             load.load_value = self.memory.load(load.address,
-                                               load.inst.info.mem_size)
+                                               load.info.mem_size)
         load.access_level = access.level
         load.mem_issued = True
         self._schedule_load_completion(load, access.latency)
@@ -328,7 +362,7 @@ class OoOCore:
         """
         speculate = self._mds_enabled()
         forward: Optional[DynInst] = None
-        size = load.inst.info.mem_size
+        size = load.info.mem_size
         for st in self.lsq:
             if st.seq >= load.seq:
                 break
@@ -339,7 +373,7 @@ class OoOCore:
                     continue
                 return True, None
             if self._overlaps(st, load):
-                if st.address == load.address and st.inst.info.mem_size >= size:
+                if st.address == load.address and st.info.mem_size >= size:
                     forward = st   # youngest exact-covering store wins
                 else:
                     # Partial overlap: wait for the store to retire and drain.
@@ -396,8 +430,8 @@ class OoOCore:
 
     @staticmethod
     def _overlaps(a: DynInst, b: DynInst) -> bool:
-        a0, a1 = a.address, a.address + a.inst.info.mem_size
-        b0, b1 = b.address, b.address + b.inst.info.mem_size
+        a0, a1 = a.address, a.address + a.info.mem_size
+        b0, b1 = b.address, b.address + b.info.mem_size
         return a0 < b1 and b0 < a1
 
     @staticmethod
@@ -418,14 +452,17 @@ class OoOCore:
             return
         still_pending: list[DynInst] = []
         resolved_any = False
-        for di in sorted(self.pending_control, key=lambda d: d.seq):
+        pending = self.pending_control
+        if len(pending) > 1:
+            pending = sorted(pending, key=lambda d: d.seq)
+        for di in pending:
             if di.squashed or di.resolution_applied:
                 continue
             if resolved_any or not di.complete:
                 still_pending.append(di)
                 continue
             if not (di.reached_vp or self.engine.may_resolve(di)):
-                self.stats["resolutions_delayed_cycles"] += 1
+                self._resolutions_delayed += 1
                 still_pending.append(di)
                 continue
             self._apply_resolution(di)
@@ -435,6 +472,8 @@ class OoOCore:
                                 if not d.squashed and not d.resolution_applied]
 
     def _finish_loads(self) -> None:
+        if not self.lsq:
+            return
         for di in self.lsq:
             if (di.is_load and di.complete and not di.mem_complete
                     and not di.squashed):
@@ -465,6 +504,8 @@ class OoOCore:
             dead = {d.seq for d in squashed}
             self.rs = [d for d in self.rs if d.seq not in dead]
             self.lsq = [d for d in self.lsq if d.seq not in dead]
+            self._sq_used = sum(1 for d in self.lsq if d.is_store)
+            self._lq_used = len(self.lsq) - self._sq_used
             self.pending_control = [d for d in self.pending_control
                                     if d.seq not in dead]
             # The engine sees victims before rename-undo recycles their
@@ -511,7 +552,7 @@ class OoOCore:
 
     def _retire(self, di: DynInst) -> None:
         if di.is_store:
-            self.memory.store(di.address, di.rs2_value, di.inst.info.mem_size)
+            self.memory.store(di.address, di.rs2_value, di.info.mem_size)
             access = self.hierarchy.access(di.address, self.cycle, is_write=True)
             if access.l1_evicted_line is not None:
                 self.engine.on_l1_evict(access.l1_evicted_line)
@@ -520,8 +561,10 @@ class OoOCore:
                 access.level)
             self.engine.on_store_retire(di)
             self.lsq.remove(di)
+            self._sq_used -= 1
         elif di.is_load:
             self.lsq.remove(di)
+            self._lq_used -= 1
         di.retired = True
         di.retire_cycle = self.cycle
         di.reached_vp = True
@@ -570,10 +613,14 @@ class OoOCore:
                 self.rs.append(di)
                 if di.is_transmitter:
                     self.lsq.append(di)
+                    if di.is_store:
+                        self._sq_used += 1
+                    else:
+                        self._lq_used += 1
             dispatched += 1
 
     def _lsq_count(self, is_store: bool) -> int:
-        return sum(1 for d in self.lsq if d.is_store == is_store)
+        return self._sq_used if is_store else self._lq_used
 
     # -------------------------------------------------------- visibility point
     def advance_vp(self, is_obstacle: Callable[[DynInst], bool]) -> list:

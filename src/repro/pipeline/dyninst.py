@@ -17,7 +17,12 @@ class DynInst:
     """
 
     __slots__ = (
-        "seq", "pc", "inst", "kind",
+        "seq", "pc", "inst", "kind", "info",
+        # Kind predicates, fixed at construction (attributes, not
+        # properties: these are read millions of times in the per-cycle
+        # scheduler and engine loops).
+        "is_control", "is_predicted_control", "is_load", "is_store",
+        "is_transmitter",
         # Rename.
         "prs1", "prs2", "prd", "old_prd",
         # Values (filled as operands become ready / result computed).
@@ -47,7 +52,15 @@ class DynInst:
         self.seq = seq
         self.pc = pc
         self.inst = inst
-        self.kind = inst.info.kind
+        info = inst.info
+        self.info = info
+        kind = info.kind
+        self.kind = kind
+        self.is_control = kind in (Kind.BRANCH, Kind.JUMP, Kind.JUMP_REG)
+        self.is_predicted_control = kind in (Kind.BRANCH, Kind.JUMP_REG)
+        self.is_load = kind == Kind.LOAD
+        self.is_store = kind == Kind.STORE
+        self.is_transmitter = kind in (Kind.LOAD, Kind.STORE)
         self.prs1 = -1
         self.prs2 = -1
         self.prd = -1
@@ -93,29 +106,6 @@ class DynInst:
         self.pend_src1 = False
         self.pend_src2 = False
         self.pend_dst = False
-
-    # --------------------------------------------------------------- queries
-    @property
-    def is_control(self) -> bool:
-        return self.kind in (Kind.BRANCH, Kind.JUMP, Kind.JUMP_REG)
-
-    @property
-    def is_predicted_control(self) -> bool:
-        """Control instructions that can mispredict (JAL targets are exact)."""
-        return self.kind in (Kind.BRANCH, Kind.JUMP_REG)
-
-    @property
-    def is_load(self) -> bool:
-        return self.kind == Kind.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.kind == Kind.STORE
-
-    @property
-    def is_transmitter(self) -> bool:
-        """Explicit-channel transmitters (loads/stores, paper Section 9.1)."""
-        return self.kind in (Kind.LOAD, Kind.STORE)
 
     def __repr__(self) -> str:
         flags = "".join((

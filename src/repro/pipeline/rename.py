@@ -22,6 +22,8 @@ class OutOfPhysRegs(Exception):
 class RenameUnit:
     """RAT + free list + physical register file (values and ready bits)."""
 
+    __slots__ = ("num_phys_regs", "rat", "free", "ready", "value")
+
     def __init__(self, num_phys_regs: int):
         if num_phys_regs <= NUM_ARCH_REGS:
             raise ValueError("need more physical than architectural registers")

@@ -13,6 +13,16 @@ from repro.pipeline.params import MachineParams
 BOTH_MODELS = [AttackModel.SPECTRE, AttackModel.FUTURISTIC]
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the persistent result cache at a per-test directory.
+
+    Keeps the suite from reading (or polluting) the user's real
+    ``~/.cache/repro`` while still exercising the cache code paths.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def small_params() -> MachineParams:
     """A small machine for fast unit tests."""

@@ -1,0 +1,138 @@
+"""Tests for the persistent result cache (``repro.harness.cache``)."""
+
+import os
+
+import pytest
+
+from repro.core.attack_model import AttackModel
+from repro.harness import cache, parallel
+from repro.harness.parallel import RunSpec, run_many
+from repro.pipeline.params import MachineParams
+
+BUDGET = 400
+SPEC = RunSpec("mcf", "SPT{Bwd,ShadowL1}", AttackModel.FUTURISTIC,
+               max_instructions=BUDGET)
+
+
+def counting_run_one(monkeypatch):
+    calls = []
+    real = parallel.run_one
+
+    def counting(workload, config, *args, **kwargs):
+        calls.append(workload)
+        return real(workload, config, *args, **kwargs)
+
+    monkeypatch.setattr(parallel, "run_one", counting)
+    return calls
+
+
+def test_cache_dir_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/some/where")
+    assert cache.cache_dir() == "/some/where"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert cache.cache_dir().endswith(os.path.join(".cache", "repro"))
+
+
+def test_cache_enabled_env(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+    assert cache.cache_enabled()
+    monkeypatch.setenv("REPRO_NO_CACHE", "0")
+    assert cache.cache_enabled()
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    assert not cache.cache_enabled()
+
+
+def test_second_invocation_hits_cache(monkeypatch):
+    calls = counting_run_one(monkeypatch)
+    first = run_many([SPEC], jobs=1)
+    assert len(calls) == 1
+    second = run_many([SPEC], jobs=1)
+    assert len(calls) == 1          # served from disk, no simulation
+    assert first[0].cycles == second[0].cycles
+    assert first[0].stats == second[0].stats
+    assert first[0].untaint_by_kind == second[0].untaint_by_kind
+
+
+def test_no_cache_env_opts_out(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    calls = counting_run_one(monkeypatch)
+    run_many([SPEC], jobs=1)
+    run_many([SPEC], jobs=1)
+    assert len(calls) == 2
+
+
+def test_untaints_per_cycle_keys_survive_round_trip():
+    spec = RunSpec("mcf", "SPT{Ideal,ShadowMem}", AttackModel.FUTURISTIC,
+                   max_instructions=BUDGET)
+    fresh = run_many([spec], jobs=1)[0]
+    cached = run_many([spec], jobs=1)[0]
+    assert fresh.untaints_per_cycle
+    assert cached.untaints_per_cycle == fresh.untaints_per_cycle
+    assert all(isinstance(k, int) for k in cached.untaints_per_cycle)
+
+
+def test_key_changes_with_budget():
+    assert SPEC.key() != RunSpec(
+        SPEC.workload, SPEC.config, SPEC.model,
+        max_instructions=BUDGET + 1).key()
+
+
+def test_key_changes_with_machine_params():
+    base = RunSpec("mcf", "SPT{Bwd,ShadowL1}", max_instructions=BUDGET,
+                   params=MachineParams())
+    widened = RunSpec("mcf", "SPT{Bwd,ShadowL1}", max_instructions=BUDGET,
+                      params=MachineParams(untaint_broadcast_width=8))
+    assert base.key() != widened.key()
+    # Default params hash like an explicit default MachineParams.
+    assert base.key() == SPEC.key()
+
+
+def test_key_changes_with_model_for_protected_configs():
+    assert SPEC.key() != RunSpec(SPEC.workload, SPEC.config,
+                                 AttackModel.SPECTRE,
+                                 max_instructions=BUDGET).key()
+
+
+def test_key_shared_across_models_for_unsafe_baseline():
+    futuristic = RunSpec("mcf", "UnsafeBaseline", AttackModel.FUTURISTIC,
+                         max_instructions=BUDGET)
+    spectre = RunSpec("mcf", "UnsafeBaseline", AttackModel.SPECTRE,
+                      max_instructions=BUDGET)
+    assert futuristic.key() == spectre.key()
+
+
+def test_key_changes_with_source_fingerprint(monkeypatch):
+    before = SPEC.key()
+    monkeypatch.setattr(cache, "source_fingerprint",
+                        lambda: "deadbeef-simulated-code-change")
+    assert SPEC.key() != before
+
+
+def test_source_fingerprint_is_stable_and_memoised():
+    first = cache.source_fingerprint()
+    assert first == cache.source_fingerprint()
+    assert len(first) == 64
+
+
+def test_corrupt_blob_is_a_miss(monkeypatch):
+    run_many([SPEC], jobs=1)
+    key = SPEC.key()
+    path = os.path.join(cache.cache_dir(), f"{key}.json")
+    with open(path, "w") as handle:
+        handle.write("{ not json")
+    assert cache.load(key) is None
+    calls = counting_run_one(monkeypatch)
+    run_many([SPEC], jobs=1)
+    assert len(calls) == 1          # re-simulated and re-stored
+
+
+def test_clear_removes_entries():
+    run_many([SPEC], jobs=1)
+    assert cache.clear() >= 1
+    assert cache.load(SPEC.key()) is None
+
+
+def test_store_survives_unwritable_dir(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/proc/definitely-not-writable")
+    results = run_many([SPEC], jobs=1, use_cache=True)
+    assert results[0].cycles > 0    # simulation succeeded, store was dropped

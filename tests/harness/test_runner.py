@@ -62,3 +62,19 @@ def test_env_defaults(monkeypatch):
 def test_unknown_workload_raises():
     with pytest.raises(KeyError):
         run_one("not-a-workload", "STT")
+
+
+@pytest.mark.parametrize("name,reader", [
+    ("REPRO_BENCH_BUDGET", bench_budget),
+    ("REPRO_BENCH_SCALE", bench_scale),
+])
+def test_env_validation_names_the_variable(monkeypatch, name, reader):
+    monkeypatch.setenv(name, "not-a-number")
+    with pytest.raises(ValueError, match=name):
+        reader()
+    monkeypatch.setenv(name, "0")
+    with pytest.raises(ValueError, match=name):
+        reader()
+    monkeypatch.setenv(name, "-3")
+    with pytest.raises(ValueError, match=name):
+        reader()

@@ -1,0 +1,49 @@
+"""Guard the ``__slots__`` declarations on the hot in-flight classes.
+
+These classes are allocated (DynInst, AccessResult) or indexed (RenameUnit)
+millions of times per simulation; a dropped ``__slots__`` silently
+reintroduces a per-instance ``__dict__`` and costs both memory and speed.
+"""
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.memory.hierarchy import AccessResult
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.rename import RenameUnit
+
+
+def make_dyninst() -> DynInst:
+    return DynInst(0, 0, Instruction("ADD", rd=1, rs1=2, rs2=3))
+
+
+def test_dyninst_rejects_arbitrary_attributes():
+    di = make_dyninst()
+    with pytest.raises(AttributeError):
+        di.not_a_real_field = 1
+    assert not hasattr(di, "__dict__")
+
+
+def test_dyninst_kind_predicates_are_precomputed():
+    di = make_dyninst()
+    assert not di.is_load and not di.is_store and not di.is_transmitter
+    load = DynInst(1, 0, Instruction("LD", rd=1, rs1=2))
+    assert load.is_load and load.is_transmitter and not load.is_store
+    store = DynInst(2, 0, Instruction("SD", rs1=1, rs2=2))
+    assert store.is_store and store.is_transmitter and not store.is_load
+    branch = DynInst(3, 0, Instruction("BEQ", rs1=1, rs2=2))
+    assert branch.is_control and branch.is_predicted_control
+
+
+def test_renameunit_rejects_arbitrary_attributes():
+    unit = RenameUnit(64)
+    with pytest.raises(AttributeError):
+        unit.scratch = object()
+    assert not hasattr(unit, "__dict__")
+
+
+def test_accessresult_rejects_arbitrary_attributes():
+    access = AccessResult(2, "L1D", None)
+    with pytest.raises(AttributeError):
+        access.extra = True
+    assert not hasattr(access, "__dict__")
