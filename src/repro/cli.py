@@ -246,6 +246,12 @@ def _run_direct(args: argparse.Namespace, executable: str,
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommands ride in front of the artifact-compatible interface.
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import main as fuzz_main
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     error = validate_args(args)
     if error:

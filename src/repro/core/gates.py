@@ -20,7 +20,7 @@ wires and circuit structure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 GATE_TYPES = ("AND", "OR", "XOR", "NOT", "WIRE")

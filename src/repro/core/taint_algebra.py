@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.isa.instructions import Instruction
-from repro.isa.opcodes import Kind, OpInfo
+from repro.isa.opcodes import Kind
 
 # Instruction kinds whose results are pure functions of register operands.
 PURE_KINDS = (Kind.ALU, Kind.ALU_IMM, Kind.MOVE)

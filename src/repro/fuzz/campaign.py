@@ -1,0 +1,187 @@
+"""The leakage-fuzzing campaign driver.
+
+A campaign fans ``seeds x configurations x attack-models x 2 secrets``
+simulations through :func:`repro.harness.parallel.run_many` — every run is
+an ordinary harness run (parallelised, cached, deduplicated; the
+``UnsafeBaseline`` runs are even shared between attack models via the
+model-independent cache key) — then folds the per-channel trace digests
+into oracle verdicts, triage counts, and corpus records.
+
+Campaigns are resumable: seed outcomes land in a JSONL corpus stamped with
+the simulator source fingerprint, and a re-run skips exactly the seeds
+whose recorded results still describe the current code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.attack_model import AttackModel
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.generator import (FuzzPlan, generate_plan, plan_to_json,
+                                  render, secret_pair, workload_name)
+from repro.fuzz.minimize import minimize_plan
+from repro.fuzz.oracle import (FUZZ_BUDGET, architectural_dependence,
+                               classify, divergence_detail)
+from repro.fuzz.report import FuzzReport
+from repro.harness import cache
+from repro.harness.configs import CONFIGURATIONS
+from repro.harness.parallel import RunSpec, run_many
+from repro.isa.interpreter import InterpreterError
+from repro.security.observer import differing_channels
+
+BOTH_MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
+
+
+@dataclass
+class CampaignConfig:
+    """One campaign's parameters."""
+
+    seeds: int = 50
+    seed_start: int = 0
+    profile: str = "default"
+    configs: Sequence[str] = field(
+        default_factory=lambda: list(CONFIGURATIONS))
+    models: Sequence[AttackModel] = field(
+        default_factory=lambda: list(BOTH_MODELS))
+    jobs: Optional[int] = None          # None: REPRO_JOBS / CPU count
+    minimize: bool = False
+    corpus_dir: Optional[str] = None    # None: in-memory only
+    use_cache: Optional[bool] = None    # None: consult REPRO_NO_CACHE
+    max_instructions: int = FUZZ_BUDGET
+
+
+@dataclass
+class _SeedWork:
+    """One seed's plan, secrets, and validity."""
+
+    seed: int
+    plan: FuzzPlan
+    secrets: tuple
+    valid: bool
+    reason: str = ""
+
+
+def _prepare_seed(seed: int, cfg: CampaignConfig) -> _SeedWork:
+    """Generate and architecturally validate one seed's victim pair."""
+    plan = generate_plan(seed, cfg.profile)
+    secrets = secret_pair(seed)
+    try:
+        dependent = architectural_dependence(
+            render(plan, secrets[0]), render(plan, secrets[1]),
+            max_instructions=cfg.max_instructions)
+    except InterpreterError as exc:
+        return _SeedWork(seed, plan, secrets, False, str(exc))
+    if dependent:
+        return _SeedWork(seed, plan, secrets, False,
+                         "committed path depends on the secret")
+    return _SeedWork(seed, plan, secrets, True)
+
+
+def run_campaign(cfg: CampaignConfig) -> FuzzReport:
+    """Run one campaign end to end; returns the triage report."""
+    start = time.perf_counter()
+    fingerprint = cache.source_fingerprint()
+    corpus = Corpus(cfg.corpus_dir)
+    tried = corpus.tried_seeds(cfg.profile, fingerprint)
+    requested = list(range(cfg.seed_start, cfg.seed_start + cfg.seeds))
+    fresh = [s for s in requested if s not in tried]
+
+    report = FuzzReport(
+        profile=cfg.profile, seeds_requested=len(requested),
+        seeds_run=len(fresh), seeds_resumed=len(requested) - len(fresh),
+        configs=list(cfg.configs), models=[m.value for m in cfg.models])
+
+    work = [_prepare_seed(seed, cfg) for seed in fresh]
+    for item in work:
+        if not item.valid:
+            report.invalid_seeds.append(item.seed)
+            corpus.append({
+                "type": "seed", "seed": item.seed, "profile": cfg.profile,
+                "fingerprint": fingerprint, "valid": False,
+                "reason": item.reason,
+                "exposure": item.plan.exposure,
+                "secrets": [f"{s:x}" for s in item.secrets], "cells": []})
+
+    # The whole campaign as one deduplicated, cached, parallel sweep.
+    runnable = [item for item in work if item.valid]
+    specs = []
+    cells = []      # (work item, config, model) per spec *pair*
+    for item in runnable:
+        for config in cfg.configs:
+            for model in cfg.models:
+                cells.append((item, config, model))
+                for secret in item.secrets:
+                    specs.append(RunSpec(
+                        workload_name(cfg.profile, item.seed, secret),
+                        config, model,
+                        max_instructions=cfg.max_instructions,
+                        collect_trace=True))
+    results = run_many(specs, jobs=cfg.jobs, use_cache=cfg.use_cache)
+
+    outcomes: dict = {}     # seed -> list of verdict dicts
+    for pair_index, (item, config, model) in enumerate(cells):
+        result_a = results[2 * pair_index]
+        result_b = results[2 * pair_index + 1]
+        channels = differing_channels(result_a.trace_digests,
+                                      result_b.trace_digests)
+        verdict = classify(item.plan.exposure, config, model, channels)
+        report.cells_checked += 1
+        if verdict.diverged:
+            report.divergences_by_config[config] = \
+                report.divergences_by_config.get(config, 0) + 1
+            for channel in channels:
+                report.divergences_by_channel[channel] = \
+                    report.divergences_by_channel.get(channel, 0) + 1
+            if config == "UnsafeBaseline":
+                report.unsafe_divergences += 1
+            if verdict.expected:
+                report.expected_divergences += 1
+        outcomes.setdefault(item.seed, []).append({
+            "config": config, "model": model.value,
+            "channels": list(channels), "expected": verdict.expected})
+        if verdict.counterexample:
+            record = _counterexample_record(item, verdict, cfg)
+            report.counterexamples.append(record)
+            corpus.append(record)
+
+    for item in runnable:
+        corpus.append({
+            "type": "seed", "seed": item.seed, "profile": cfg.profile,
+            "fingerprint": fingerprint, "valid": True,
+            "exposure": item.plan.exposure,
+            "secrets": [f"{s:x}" for s in item.secrets],
+            "cells": outcomes.get(item.seed, []),
+            "counterexample": any(
+                c["channels"] and not c["expected"]
+                for c in outcomes.get(item.seed, []))})
+
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def _counterexample_record(item: _SeedWork, verdict, cfg) -> dict:
+    """Confirm, explain, and (optionally) minimise one counterexample."""
+    program_a = render(item.plan, item.secrets[0])
+    record = {
+        "type": "counterexample", "seed": item.seed,
+        "profile": cfg.profile, "config": verdict.config,
+        "model": verdict.model.value, "channels": list(verdict.channels),
+        "exposure": item.plan.exposure,
+        "secrets": [f"{s:x}" for s in item.secrets],
+        "plan": plan_to_json(item.plan),
+        "instructions": len(program_a.instructions),
+        "detail": divergence_detail(
+            program_a, render(item.plan, item.secrets[1]),
+            verdict.config, verdict.model),
+    }
+    if cfg.minimize:
+        minimized = minimize_plan(item.plan, item.secrets, verdict.config,
+                                  verdict.model,
+                                  max_instructions=cfg.max_instructions)
+        record["minimized_plan"] = plan_to_json(minimized.plan)
+        record["minimized_instructions"] = minimized.instructions_after
+        record["minimize_checks"] = minimized.checks
+    return record

@@ -1,0 +1,109 @@
+"""``repro fuzz`` — the campaign command-line front end.
+
+Examples::
+
+    python -m repro.cli fuzz --seeds 200 --minimize --corpus-dir fuzz-corpus
+    python -m repro.cli fuzz --seeds 25 --jobs 2 --configs UnsafeBaseline,STT \\
+        --models futuristic
+
+Exit status is 0 only when the campaign is clean: no secure-configuration
+counterexample, no generator-invariant breakage, and the UnsafeBaseline
+sanity signal fired (when UnsafeBaseline was part of the sweep) — so a CI
+job can gate directly on this command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.fuzz.campaign import BOTH_MODELS, CampaignConfig, run_campaign
+from repro.fuzz.generator import PROFILES
+from repro.fuzz.report import render_report
+from repro.harness.configs import CONFIGURATIONS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="run_spt fuzz",
+        description="Run a randomized leakage-hunting campaign against the "
+                    "protection configurations (non-interference oracle).")
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of victim programs to fuzz (default 50)")
+    parser.add_argument("--seed-start", type=int, default=0,
+                        help="first seed (campaigns are deterministic per "
+                             "seed; shift this to explore new victims)")
+    parser.add_argument("--profile", default="default",
+                        choices=sorted(PROFILES),
+                        help="generator profile (victim size/shape)")
+    parser.add_argument("--configs", default="all",
+                        help="comma-separated Table 2 configuration names, "
+                             "or 'all' (default)")
+    parser.add_argument("--models", default="both",
+                        choices=["spectre", "futuristic", "both"],
+                        help="attack model(s) to fuzz under (default both)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or CPU "
+                             "count)")
+    parser.add_argument("--minimize", action="store_true",
+                        help="delta-debug every counterexample down to a "
+                             "minimal gadget before recording it")
+    parser.add_argument("--corpus-dir", default=None,
+                        help="persistent corpus directory (campaigns resume "
+                             "from it; default: in-memory only)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+    parser.add_argument("--max-instructions", type=int, default=None,
+                        help="per-run retired-instruction budget")
+    return parser
+
+
+def _parse_configs(text: str) -> list:
+    if text == "all":
+        return list(CONFIGURATIONS)
+    # Configuration names themselves contain commas (SPT{Bwd,ShadowL1}),
+    # so split on commas but re-merge fragments until braces balance.
+    names: list = []
+    pending = ""
+    for part in text.split(","):
+        pending = f"{pending},{part}" if pending else part
+        if pending.count("{") == pending.count("}"):
+            if pending.strip():
+                names.append(pending.strip())
+            pending = ""
+    if pending.strip():
+        names.append(pending.strip())
+    for name in names:
+        if name not in CONFIGURATIONS:
+            raise SystemExit(
+                f"error: unknown configuration {name!r}; "
+                f"known: {', '.join(CONFIGURATIONS)}")
+    if not names:
+        raise SystemExit("error: --configs selected nothing")
+    return names
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    models = list(BOTH_MODELS) if args.models == "both" \
+        else [AttackModel(args.models)]
+    cfg = CampaignConfig(
+        seeds=args.seeds, seed_start=args.seed_start, profile=args.profile,
+        configs=_parse_configs(args.configs), models=models,
+        jobs=args.jobs, minimize=args.minimize,
+        corpus_dir=args.corpus_dir,
+        use_cache=False if args.no_cache else None)
+    if args.max_instructions:
+        cfg.max_instructions = args.max_instructions
+    report = run_campaign(cfg)
+    print(render_report(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Persistent JSONL campaign corpus.
+
+One append-only ``corpus.jsonl`` per corpus directory; every line is a
+self-describing JSON record:
+
+* ``{"type": "seed", ...}`` — one fuzzed seed: its exposure class, the
+  secret pair, and the per-cell verdicts.  Records carry the simulator
+  source fingerprint, so campaigns resume across runs — a seed is only
+  skipped when its recorded result still describes the current code.
+* ``{"type": "counterexample", ...}`` — an unexpected secure-config
+  divergence, with the full plan JSON (and the minimised plan when the
+  campaign ran with minimisation) so it can be reproduced from the corpus
+  alone.
+
+JSONL keeps the corpus mergeable and greppable; a crashed campaign leaves
+at worst one truncated trailing line, which the loader skips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+
+class Corpus:
+    """Append-oriented view over one corpus directory (or in-memory)."""
+
+    def __init__(self, directory: Optional[str]):
+        self.directory = directory
+        self._records: list = []
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self._records = self._read()
+
+    @property
+    def path(self) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, "corpus.jsonl")
+
+    def _read(self) -> list:
+        records = []
+        try:
+            with open(self.path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except ValueError:
+                        continue    # truncated trailing line: skip
+        except OSError:
+            pass
+        return records
+
+    def append(self, record: dict) -> None:
+        self._records.append(record)
+        if self.path is None:
+            return
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -------------------------------------------------------------- queries
+    def records(self, kind: Optional[str] = None) -> list:
+        if kind is None:
+            return list(self._records)
+        return [r for r in self._records if r.get("type") == kind]
+
+    def tried_seeds(self, profile: str, fingerprint: str) -> set:
+        """Seeds already fuzzed for this profile under the current code."""
+        return {r["seed"] for r in self.records("seed")
+                if r.get("profile") == profile
+                and r.get("fingerprint") == fingerprint}
+
+    def counterexamples(self) -> list:
+        return self.records("counterexample")

@@ -29,7 +29,7 @@ from repro.harness.runner import RunResult
 from repro.pipeline.params import MachineParams
 
 # Bump when the cached-blob layout changes (keys everything to a new slot).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 _FINGERPRINT: Optional[str] = None
 
@@ -73,7 +73,8 @@ def source_fingerprint() -> str:
 
 def result_key(workload: str, config: str, model: AttackModel,
                scale: int, max_instructions: Optional[int],
-               params: Optional[MachineParams]) -> str:
+               params: Optional[MachineParams],
+               collect_trace: bool = False) -> str:
     """Content hash identifying one simulation's full input set.
 
     Model-independent configurations (``needs_model=False``, e.g.
@@ -94,6 +95,7 @@ def result_key(workload: str, config: str, model: AttackModel,
         "scale": scale,
         "max_instructions": max_instructions,
         "params": dataclasses.asdict(params or MachineParams()),
+        "collect_trace": collect_trace,
         "source": source_fingerprint(),
     }
     text = json.dumps(payload, sort_keys=True, default=repr)
@@ -123,6 +125,7 @@ def load(key: str) -> Optional[RunResult]:
             # JSON stringifies integer keys; restore them.
             untaints_per_cycle={int(k): v for k, v
                                 in blob["untaints_per_cycle"].items()},
+            trace_digests=blob.get("trace_digests", {}),
         )
     except (KeyError, ValueError):
         return None     # stale/corrupt blob: treat as a miss
@@ -139,6 +142,7 @@ def store(key: str, result: RunResult) -> None:
         "stats": result.stats,
         "untaint_by_kind": result.untaint_by_kind,
         "untaints_per_cycle": result.untaints_per_cycle,
+        "trace_digests": result.trace_digests,
     }
     directory = cache_dir()
     try:

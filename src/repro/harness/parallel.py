@@ -38,6 +38,7 @@ class RunSpec:
     scale: int = 1
     max_instructions: Optional[int] = None
     params: Optional[MachineParams] = None
+    collect_trace: bool = False
 
     def describe(self) -> str:
         return (f"workload={self.workload} config={self.config} "
@@ -47,7 +48,7 @@ class RunSpec:
     def key(self) -> str:
         return cache.result_key(self.workload, self.config, self.model,
                                 self.scale, self.max_instructions,
-                                self.params)
+                                self.params, self.collect_trace)
 
 
 class RunFailure(RuntimeError):
@@ -84,7 +85,7 @@ def _execute_spec(spec: RunSpec) -> RunResult:
     """Worker entry point (module-level so it pickles)."""
     return run_one(spec.workload, spec.config, spec.model,
                    scale=spec.scale, max_instructions=spec.max_instructions,
-                   params=spec.params)
+                   params=spec.params, collect_trace=spec.collect_trace)
 
 
 def _run_serial(specs: Sequence[RunSpec]) -> list:

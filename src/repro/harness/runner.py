@@ -11,6 +11,7 @@ from repro.core.spt import SPTEngine
 from repro.harness.configs import make_engine
 from repro.pipeline.core import OoOCore, SimResult
 from repro.pipeline.params import MachineParams
+from repro.security.observer import channel_digests
 from repro.workloads.registry import get as get_workload
 
 
@@ -52,6 +53,10 @@ class RunResult:
     untaint_by_kind: dict = field(default_factory=dict)
     untaints_per_cycle: dict = field(default_factory=dict)
     sim: Optional[SimResult] = None
+    # Per-channel hashes of the attacker-visible trace (see
+    # repro.security.observer.channel_digests); filled when the run was
+    # requested with collect_trace=True.
+    trace_digests: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -62,8 +67,13 @@ def run_one(workload: str, config: str,
             model: AttackModel = AttackModel.FUTURISTIC,
             scale: int = 1, max_instructions: Optional[int] = None,
             params: Optional[MachineParams] = None,
-            keep_sim: bool = False) -> RunResult:
-    """Simulate ``workload`` under ``config`` and collect statistics."""
+            keep_sim: bool = False, collect_trace: bool = False) -> RunResult:
+    """Simulate ``workload`` under ``config`` and collect statistics.
+
+    ``collect_trace=True`` additionally hashes the attacker-visible trace
+    per channel into ``RunResult.trace_digests`` (the non-interference
+    oracle's comparison unit; cheap and cacheable, unlike the trace).
+    """
     program = get_workload(workload).program(scale)
     engine = make_engine(config, model)
     core = OoOCore(program, engine=engine, params=params or MachineParams())
@@ -73,9 +83,16 @@ def run_one(workload: str, config: str,
     if isinstance(engine, SPTEngine):
         untaint_by_kind = engine.untaint.as_dict()
         untaints_per_cycle = dict(engine.untaint.untaints_per_cycle)
+    trace_digests: dict = {}
+    if collect_trace:
+        if not sim.halted:
+            raise RuntimeError(
+                f"{workload} did not halt under {config}; its trace digests "
+                f"would describe a truncated run")
+        trace_digests = channel_digests(sim.observer, sim.cycles)
     return RunResult(workload, config, model, sim.cycles, sim.retired,
                      sim.stats, untaint_by_kind, untaints_per_cycle,
-                     sim if keep_sim else None)
+                     sim if keep_sim else None, trace_digests)
 
 
 def normalized_time(result: RunResult, baseline: RunResult) -> float:

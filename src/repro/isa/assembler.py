@@ -22,7 +22,6 @@ Registers accept ``x0``-``x31`` or RISC-V style ABI names.
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from repro.isa.instructions import Instruction, IsaError, Program, store_word
 from repro.isa.opcodes import OPCODES, Kind

@@ -9,7 +9,6 @@ checkpoints.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
 
 from repro.isa.opcodes import NUM_ARCH_REGS
 from repro.pipeline.dyninst import DynInst

@@ -15,7 +15,6 @@ on a load is a delayed transmitter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.pipeline.core import OoOCore, SimResult
 from repro.pipeline.dyninst import DynInst
@@ -62,7 +61,6 @@ class PipelineTracer:
 
     def run(self, max_instructions: int = 100_000) -> SimResult:
         core = self.core
-        result: Optional[SimResult] = None
         while not core.halted and core.retired_count < max_instructions:
             core.step()
             self._harvest()

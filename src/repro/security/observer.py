@@ -19,8 +19,9 @@ paper's penetration test (which checks a specific exfiltration gadget).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,61 @@ class Observer:
 def traces_equal(a: Observer, b: Observer) -> bool:
     """Whether two runs are indistinguishable to the attacker."""
     return a.trace() == b.trace()
+
+
+# --------------------------------------------------------------- channels
+#
+# The trace decomposes into named side channels so a divergence can be
+# triaged: two runs may agree on every cache line yet differ in hit levels
+# (an eviction channel) or only in event cycles (a pure timing channel).
+# ``channel_digests`` reduces each projection to a content hash, which is
+# what the fuzzing oracle compares — digests survive pickling, caching and
+# process boundaries without shipping whole traces around.
+
+CHANNELS = ("load-line", "load-level", "store-addr", "store-write",
+            "bp-update", "squash", "timing")
+
+_CHANNEL_PROJECTIONS = {
+    "load-line": lambda e: e.value if e.kind == "load" else None,
+    "load-level": lambda e: e.detail if e.kind == "load" else None,
+    "store-addr": lambda e: e.value if e.kind == "store-addr" else None,
+    "store-write": lambda e: ((e.value, e.detail)
+                              if e.kind == "store-write" else None),
+    "bp-update": lambda e: ((e.value, e.detail)
+                            if e.kind == "bp-update" else None),
+    "squash": lambda e: ((e.cycle, e.value)
+                         if e.kind == "squash" else None),
+}
+
+
+def channel_projection(observer: Observer, channel: str) -> tuple:
+    """The sub-trace a single channel exposes, as a hashable tuple."""
+    if channel == "timing":
+        return tuple(e.cycle for e in observer.events)
+    project = _CHANNEL_PROJECTIONS[channel]
+    return tuple(p for p in map(project, observer.events) if p is not None)
+
+
+def channel_digests(observer: Observer,
+                    total_cycles: Optional[int] = None) -> dict:
+    """Per-channel content hashes of one run's attacker-visible trace.
+
+    ``total_cycles`` folds the run's overall execution time into the
+    ``timing`` channel (two traces with identical events can still differ
+    in when the program halts).
+    """
+    digests = {}
+    for channel in CHANNELS:
+        payload = repr(channel_projection(observer, channel))
+        if channel == "timing" and total_cycles is not None:
+            payload += f"|total={total_cycles}"
+        digests[channel] = hashlib.sha256(payload.encode()).hexdigest()
+    return digests
+
+
+def differing_channels(a: dict, b: dict) -> list:
+    """Channels whose digests differ between two runs (trace order)."""
+    return [c for c in CHANNELS if a.get(c) != b.get(c)]
 
 
 def differing_events(a: Observer, b: Observer, limit: int = 10) -> list:

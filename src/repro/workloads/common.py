@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Callable
 
 from repro.isa.builder import ProgramBuilder
 

@@ -22,6 +22,12 @@ _ALU_RR = ["ADD", "SUB", "AND", "OR", "XOR", "SLL", "SRL", "MUL", "SLT", "SLTU"]
 _ALU_RI = ["ADDI", "ANDI", "ORI", "XORI", "SLLI", "SRLI", "ROTLI", "ROTRI"]
 _MEM_BASE = 0x4000
 _MEM_MASK = 0x7F8          # 256 words, 8-byte aligned
+# andi-masked addresses reach byte offsets [0, _MEM_MASK + 16 + 8): the
+# mask itself, plus the largest static offset (16), plus a doubleword
+# access.  The checksum word lives just past that window so no random
+# store can clobber it (and no random load can read it back).
+_CHECKSUM_OFFSET = _MEM_MASK + 24
+_HEAP_WORDS = _CHECKSUM_OFFSET // 8 + 1
 
 
 class RandomProgramConfig:
@@ -43,7 +49,7 @@ def random_program(seed: int, config: Optional[RandomProgramConfig] = None) -> P
     config = config or RandomProgramConfig()
     rng = random.Random(seed)
     b = ProgramBuilder(f"random-{seed}", data_base=_MEM_BASE)
-    b.alloc_words("heap", [rng.getrandbits(64) for _ in range(64)],
+    b.alloc_words("heap", [rng.getrandbits(64) for _ in range(_HEAP_WORDS)],
                   align=8)
     # Pin the data region base used by _emit_mem.
     b.li("s0", _MEM_BASE)
@@ -78,7 +84,7 @@ def random_program(seed: int, config: Optional[RandomProgramConfig] = None) -> P
     b.li("s1", 0)
     for reg in _SCRATCH:
         b.add("s1", "s1", reg)
-    b.sd("s1", "s0", 0x7F8)
+    b.sd("s1", "s0", _CHECKSUM_OFFSET)
     b.halt()
     return b.build()
 

@@ -50,7 +50,7 @@ def test_checker_accepts_fixpoint_of_algebra():
     c.input("x", 1, tainted=True)
     c.input("y", 0, tainted=True)
     c.input("z", 1, tainted=False)
-    t = c.gate("OR", "x", "y", name="t")
+    c.gate("OR", "x", "y", name="t")
     c.gate("AND", "t", "z", name="out")
     c.declassify("out")
     assert soundness_violation(c) is None

@@ -1,6 +1,5 @@
 """Unit tests for the shadow L1 / shadow memory taint structure."""
 
-import pytest
 
 from repro.core.shadow_l1 import ShadowMode, ShadowTaint
 

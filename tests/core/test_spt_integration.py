@@ -7,7 +7,6 @@ from repro.core.events import UntaintKind
 from repro.core.shadow_l1 import ShadowMode
 from repro.core.spt import SPTEngine
 from repro.isa.assembler import assemble
-from repro.pipeline.core import OoOCore
 
 from tests.conftest import BOTH_MODELS, assert_matches_interpreter
 

@@ -1,0 +1,60 @@
+"""Counterexample minimisation: a planted gadget shrinks out of the noise."""
+
+import pytest
+
+from repro.core.attack_model import AttackModel
+from repro.fuzz.generator import (Gadget, generate_plan, render, secret_pair,
+                                  with_blocks)
+from repro.fuzz.minimize import minimize_plan
+from repro.fuzz.oracle import check_pair_direct
+
+# A single planted gadget renders to ~50 instructions; anything meaningfully
+# above that means the minimiser failed to strip the surrounding noise.
+MINIMAL_BUDGET = 64
+
+
+def _noisy_plan_with_planted_gadget():
+    """A real generated victim, its gadgets replaced by one known leaker."""
+    gadget = Gadget(exposure="speculative", transmit="line", trainings=3,
+                    widen=8, in_bounds=4, secret_index=10, shift=6)
+    base = generate_plan(2, "default")      # a full-size victim as the noise
+    noise = [b for b in base.blocks if not isinstance(b, Gadget)]
+    return with_blocks(base, noise + [gadget])
+
+
+def test_minimiser_shrinks_planted_gadget_to_budget():
+    plan = _noisy_plan_with_planted_gadget()
+    secrets = secret_pair(plan.seed)
+    model = AttackModel.SPECTRE
+    assert check_pair_direct(render(plan, secrets[0]),
+                             render(plan, secrets[1]),
+                             "UnsafeBaseline", model), \
+        "the planted gadget must leak before minimisation"
+
+    result = minimize_plan(plan, secrets, "UnsafeBaseline", model)
+
+    assert result.instructions_after < result.instructions_before
+    assert result.instructions_after <= MINIMAL_BUDGET, (
+        f"minimised victim still has {result.instructions_after} "
+        f"instructions")
+    assert result.plan.gadgets, "minimisation must keep the gadget"
+    # The shrunken plan must still witness the same divergence.
+    assert check_pair_direct(render(result.plan, secrets[0]),
+                             render(result.plan, secrets[1]),
+                             "UnsafeBaseline", model)
+
+
+def test_minimiser_rejects_non_diverging_input():
+    plan = _noisy_plan_with_planted_gadget()
+    secrets = secret_pair(plan.seed)
+    with pytest.raises(ValueError):
+        # The planted gadget does NOT leak under full SPT.
+        minimize_plan(plan, secrets, "SPT{Bwd,ShadowL1}", AttackModel.SPECTRE)
+
+
+def test_minimiser_respects_check_budget():
+    plan = _noisy_plan_with_planted_gadget()
+    secrets = secret_pair(plan.seed)
+    result = minimize_plan(plan, secrets, "UnsafeBaseline",
+                           AttackModel.SPECTRE, max_checks=10)
+    assert result.checks <= 10

@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.core.attack_model import AttackModel
 from repro.harness import cache, parallel

@@ -1,13 +1,10 @@
 """Tests for the artifact-compatible CLI."""
 
-import os
-
 import pytest
 
-from repro.cli import (build_parser, format_stats, load_program, main,
+from repro.cli import (build_parser, load_program, main,
                        make_engine_from_args, validate_args)
 from repro.core.baselines import SecureBaseline, UnsafeBaseline
-from repro.core.shadow_l1 import ShadowMode
 from repro.core.spt import SPTEngine
 from repro.core.stt import STTEngine
 

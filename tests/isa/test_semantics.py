@@ -1,6 +1,6 @@
 """Property-based tests for the shared ALU/branch semantics."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.isa.instructions import Instruction

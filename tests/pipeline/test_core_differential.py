@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 
 from repro.core.attack_model import AttackModel
 from repro.harness.configs import CONFIGURATIONS, make_engine
-from repro.pipeline.params import MachineParams
 from repro.workloads.random_programs import RandomProgramConfig, random_program
 
 from tests.conftest import BOTH_MODELS, assert_matches_interpreter

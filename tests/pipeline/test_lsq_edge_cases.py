@@ -1,9 +1,7 @@
 """LSQ edge cases: queue capacity, forwarding widths, ordering."""
 
-import pytest
 
 from repro.isa.assembler import assemble
-from repro.pipeline.core import OoOCore
 from repro.pipeline.params import MachineParams
 
 from tests.conftest import assert_matches_interpreter

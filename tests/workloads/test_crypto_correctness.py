@@ -46,7 +46,6 @@ def test_chacha20_any_key_matches_reference(key):
 
 def test_batcher_network_sorts_everything():
     pairs = batcher_pairs(16)
-    import itertools
     import random
     rng = random.Random(0)
     for _ in range(200):

@@ -1,5 +1,10 @@
 """Unit tests for the random program generator."""
 
+import os
+import subprocess
+import sys
+
+import repro
 from repro.isa.interpreter import run_program
 from repro.workloads.random_programs import RandomProgramConfig, random_program
 
@@ -9,6 +14,26 @@ def test_determinism():
     b = random_program(42)
     assert [str(i) for i in a.instructions] == [str(i) for i in b.instructions]
     assert a.initial_memory == b.initial_memory
+
+
+def test_determinism_across_processes():
+    """Fresh interpreter processes must build byte-identical programs."""
+    code = (
+        "import hashlib, json;"
+        "from repro.workloads.random_programs import random_program;"
+        "p = random_program(42);"
+        "blob = json.dumps([[str(i) for i in p.instructions],"
+        " sorted(p.initial_memory.items())]);"
+        "print(hashlib.sha256(blob.encode()).hexdigest())")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+    digests = set()
+    for hashseed in ("1", "2"):       # different hash randomisation per run
+        env["PYTHONHASHSEED"] = hashseed
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True)
+        digests.add(out.stdout.strip())
+    assert len(digests) == 1, "random_program is process-dependent"
 
 
 def test_different_seeds_differ():
@@ -23,13 +48,23 @@ def test_every_program_halts():
         assert result.halted, f"seed {seed} did not halt"
 
 
-def test_memory_accesses_stay_in_bounds():
-    from repro.workloads.random_programs import _MEM_BASE, _MEM_MASK
+def test_memory_accesses_stay_in_allocated_heap():
+    from repro.workloads.random_programs import _HEAP_WORDS, _MEM_BASE
     for seed in range(10):
         result = run_program(random_program(seed), max_instructions=500_000)
         for address in result.state.memory:
-            assert _MEM_BASE <= address < _MEM_BASE + _MEM_MASK + 16 + 8, \
+            assert _MEM_BASE <= address < _MEM_BASE + _HEAP_WORDS * 8, \
                 hex(address)
+
+
+def test_checksum_slot_outside_random_window():
+    from repro.workloads.random_programs import (_CHECKSUM_OFFSET,
+                                                 _HEAP_WORDS, _MEM_MASK)
+    # Random accesses reach byte offsets [0, _MEM_MASK + 16 + 8); the
+    # checksum word must sit past them (but inside the allocation) so no
+    # random store can clobber it.
+    assert _CHECKSUM_OFFSET >= _MEM_MASK + 16 + 8
+    assert _CHECKSUM_OFFSET + 8 <= _HEAP_WORDS * 8
 
 
 def test_config_knobs_shape_the_program():
