@@ -252,6 +252,12 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "fuzz":
         from repro.fuzz.cli import main as fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from repro.obs.cli import stats_main
+        return stats_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.obs.cli import bench_main
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     error = validate_args(args)
     if error:
@@ -306,4 +312,11 @@ def main(argv: Optional[list] = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`): exit quietly with
+        # the conventional SIGPIPE status instead of a traceback.
+        import os as _os
+        _os.dup2(_os.open(_os.devnull, _os.O_WRONLY), 1)
+        raise SystemExit(141)

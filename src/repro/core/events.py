@@ -24,6 +24,13 @@ class UntaintKind(enum.Enum):
     STL_BACKWARD = "stl-backward"       # store-to-load forwarding bwd rule (6.7)
 
 
+def log2_bucket(value: int) -> int:
+    """Power-of-two histogram bucket: bucket ``k`` covers ``[2^(k-1), 2^k)``
+    (bucket 0 is exactly zero).  Bounds histogram size for latencies that
+    span five orders of magnitude."""
+    return value.bit_length()
+
+
 @dataclass
 class UntaintStats:
     """Per-run untaint accounting."""
@@ -32,6 +39,10 @@ class UntaintStats:
     # Histogram for Figure 9: untainting cycles by number of registers
     # untainted that cycle (ideal propagation only).
     untaints_per_cycle: dict = field(default_factory=dict)
+    # Taint-lifecycle histograms (log2 buckets): taint-to-untaint latency
+    # per untaint rule, and time spent queued behind the broadcast width.
+    latency_by_kind: dict = field(default_factory=dict)
+    queue_wait: dict = field(default_factory=dict)
     broadcasts: int = 0
     broadcast_stall_cycles: int = 0     # cycles where pending > width
 
@@ -42,6 +53,18 @@ class UntaintStats:
         if registers_untainted > 0:
             bucket = self.untaints_per_cycle
             bucket[registers_untainted] = bucket.get(registers_untainted, 0) + 1
+
+    def record_latency(self, kind: UntaintKind, cycles: int) -> None:
+        """Taint-to-untaint latency of one register, attributed to the rule
+        that finally untainted it."""
+        hist = self.latency_by_kind.setdefault(kind, {})
+        bucket = log2_bucket(cycles)
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    def record_queue_wait(self, cycles: int) -> None:
+        """Cycles one untaint request waited in the broadcast queue."""
+        bucket = log2_bucket(cycles)
+        self.queue_wait[bucket] = self.queue_wait.get(bucket, 0) + 1
 
     @property
     def total(self) -> int:

@@ -58,9 +58,13 @@ class SPTEngine(ProtectionEngine):
         self.taint: list[bool] = []
         self.shadow: Optional[ShadowTaint] = None
         self.width = 3
-        # FIFO of (preg, cause) untaint requests awaiting broadcast.
-        self._pending: list[tuple[int, UntaintKind]] = []
+        # FIFO of (preg, cause, enqueue_cycle) untaint requests awaiting
+        # broadcast; the enqueue cycle feeds the queue-wait histogram.
+        self._pending: list[tuple[int, UntaintKind, int]] = []
         self._pending_set: set[int] = set()
+        # Cycle each physical register last became tainted, for the
+        # taint-to-untaint latency histograms (repro.obs).
+        self._taint_since: dict[int, int] = {}
 
     def _config_name(self) -> str:
         if self.ideal:
@@ -80,6 +84,7 @@ class SPTEngine(ProtectionEngine):
         # hardwired zero register, whose value is public by definition.
         self.taint = [True] * count
         self.taint[0] = False
+        self._taint_since = {preg: 0 for preg in range(1, count)}
         self.shadow = ShadowTaint(self.shadow_mode,
                                   core.params.hierarchy.l1_params.line_bytes)
         self.width = core.params.untaint_broadcast_width
@@ -94,6 +99,10 @@ class SPTEngine(ProtectionEngine):
         di.t_dst = tainted
         if di.prd >= 0:
             self.taint[di.prd] = tainted
+            if tainted:
+                self._taint_since[di.prd] = self.core.cycle
+            else:
+                self._taint_since.pop(di.prd, None)
 
     # --------------------------------------------------------------- gating
     def may_compute_address(self, di: DynInst) -> bool:
@@ -131,7 +140,7 @@ class SPTEngine(ProtectionEngine):
                 di.t_dst = False
                 di.pend_dst = True
         if preg >= 0 and self.taint[preg] and preg not in self._pending_set:
-            self._pending.append((preg, cause))
+            self._pending.append((preg, cause, self.core.cycle))
             self._pending_set.add(preg)
 
     # ------------------------------------------------------------ vp events
@@ -160,10 +169,9 @@ class SPTEngine(ProtectionEngine):
         dead = {di.prd for di in squashed if di.prd >= 0}
         if not dead:
             return
-        live = [(preg, cause) for preg, cause in self._pending
-                if preg not in dead]
+        live = [entry for entry in self._pending if entry[0] not in dead]
         self._pending = live
-        self._pending_set = {preg for preg, _ in live}
+        self._pending_set = {entry[0] for entry in live}
 
     # --------------------------------------------------------- memory hooks
     def on_load_data(self, di: DynInst) -> None:
@@ -282,13 +290,18 @@ class SPTEngine(ProtectionEngine):
             self._pending = self._pending[limit:]
             if self._pending:
                 self.untaint.broadcast_stall_cycles += 1
-        self._pending_set = {preg for preg, _ in self._pending}
+        self._pending_set = {entry[0] for entry in self._pending}
         transitions = 0
-        for preg, cause in selected:
+        now = self.core.cycle
+        for preg, cause, enqueued in selected:
+            self.untaint.record_queue_wait(now - enqueued)
             if self.taint[preg]:
                 self.taint[preg] = False
                 self.untaint.count(cause)
                 transitions += 1
+                since = self._taint_since.pop(preg, None)
+                if since is not None:
+                    self.untaint.record_latency(cause, now - since)
             self._clear_entry_bits(preg)
         self.untaint.broadcasts += len(selected)
         if limit is not None:
@@ -308,9 +321,43 @@ class SPTEngine(ProtectionEngine):
                 di.pend_dst = False
 
     # ------------------------------------------------------------ reporting
+    def untaint_pending(self, preg: int) -> bool:
+        # The stall accountant asks: is this register's untaint already
+        # decided but stuck behind the broadcast width?
+        return preg in self._pending_set
+
+    def metrics_tree(self):
+        """Fold the untaint machinery's state into the metrics hierarchy.
+
+        Idempotent (``set``/``set_dist`` only): the accumulating state
+        lives in :class:`UntaintStats` and the shadow structure.
+        """
+        m = self.metrics
+        untaint = m.child("untaint")
+        for kind, count in self.untaint.by_kind.items():
+            untaint.set(kind.value, count)
+        untaint.set("total", self.untaint.total)
+        if self.untaint.untaints_per_cycle:
+            untaint.set_dist("untaints_per_cycle",
+                             self.untaint.untaints_per_cycle)
+        # Taint-lifecycle histograms (log2 buckets, see events.log2_bucket).
+        for kind, hist in self.untaint.latency_by_kind.items():
+            untaint.set_dist(f"latency-{kind.value}", hist)
+        broadcast = m.child("broadcast")
+        broadcast.set("broadcasts", self.untaint.broadcasts)
+        broadcast.set("stall_cycles", self.untaint.broadcast_stall_cycles)
+        broadcast.set("queue_depth", len(self._pending))
+        if self.untaint.queue_wait:
+            broadcast.set_dist("queue_wait", self.untaint.queue_wait)
+        if self.shadow is not None:
+            shadow = m.child("shadow")
+            shadow.set("stores_cleared", self.shadow.stores_cleared)
+            shadow.set("loads_cleared", self.shadow.loads_cleared)
+        return m
+
     @property
     def stats_summary(self) -> dict:
-        summary = dict(self.stats)
+        summary = dict(self.metrics.scalars)
         summary.update(self.untaint.as_dict())
         summary["untaint_total"] = self.untaint.total
         summary["broadcasts"] = self.untaint.broadcasts

@@ -29,7 +29,7 @@ from repro.harness.runner import RunResult
 from repro.pipeline.params import MachineParams
 
 # Bump when the cached-blob layout changes (keys everything to a new slot).
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 _FINGERPRINT: Optional[str] = None
 
@@ -121,6 +121,7 @@ def load(key: str) -> Optional[RunResult]:
             cycles=blob["cycles"],
             retired=blob["retired"],
             stats=blob["stats"],
+            metrics=blob["metrics"],
             untaint_by_kind=blob["untaint_by_kind"],
             # JSON stringifies integer keys; restore them.
             untaints_per_cycle={int(k): v for k, v
@@ -140,6 +141,7 @@ def store(key: str, result: RunResult) -> None:
         "cycles": result.cycles,
         "retired": result.retired,
         "stats": result.stats,
+        "metrics": result.metrics,
         "untaint_by_kind": result.untaint_by_kind,
         "untaints_per_cycle": result.untaints_per_cycle,
         "trace_digests": result.trace_digests,

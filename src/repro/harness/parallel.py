@@ -113,7 +113,7 @@ def _run_pool(specs: Sequence[RunSpec], jobs: int,
     except (OSError, ValueError, NotImplementedError, ImportError):
         return None
     results: list = []
-    with pool:
+    try:
         try:
             futures = [pool.submit(_execute_spec, spec) for spec in specs]
         except (OSError, RuntimeError):
@@ -124,14 +124,20 @@ def _run_pool(specs: Sequence[RunSpec], jobs: int,
             except concurrent.futures.process.BrokenProcessPool:
                 return None    # workers died (OOM, signal): retry serially
             except concurrent.futures.TimeoutError:
-                for pending in futures:
-                    pending.cancel()
-                raise RunFailure(spec, f"exceeded the {timeout}s run timeout")
+                raise RunFailure(spec,
+                                 f"exceeded the {timeout}s run timeout")
             except Exception as exc:
-                for pending in futures:
-                    pending.cancel()
                 raise RunFailure(
                     spec, f"{type(exc).__name__}: {exc}") from exc
+    finally:
+        # On success every future is done, so a waiting shutdown is free.
+        # On any other exit a worker may be wedged mid-simulation (that is
+        # how a timeout gets here); joining it — the executor's default
+        # exit behaviour — would stall the sweep for as long as the hang
+        # lasts, defeating the deadline.  Drop the queue and abandon the
+        # pool without waiting instead.
+        done = len(results) == len(specs)
+        pool.shutdown(wait=done, cancel_futures=not done)
     return results
 
 

@@ -50,6 +50,9 @@ class RunResult:
     cycles: int
     retired: int
     stats: dict
+    # Hierarchical metrics in Metrics.as_dict() form (JSON-safe: dist
+    # buckets stringified); rebuild with Metrics.from_dict for rendering.
+    metrics: dict = field(default_factory=dict)
     untaint_by_kind: dict = field(default_factory=dict)
     untaints_per_cycle: dict = field(default_factory=dict)
     sim: Optional[SimResult] = None
@@ -91,8 +94,11 @@ def run_one(workload: str, config: str,
                 f"would describe a truncated run")
         trace_digests = channel_digests(sim.observer, sim.cycles)
     return RunResult(workload, config, model, sim.cycles, sim.retired,
-                     sim.stats, untaint_by_kind, untaints_per_cycle,
-                     sim if keep_sim else None, trace_digests)
+                     sim.stats, metrics=sim.metrics.as_dict(),
+                     untaint_by_kind=untaint_by_kind,
+                     untaints_per_cycle=untaints_per_cycle,
+                     sim=sim if keep_sim else None,
+                     trace_digests=trace_digests)
 
 
 def normalized_time(result: RunResult, baseline: RunResult) -> float:

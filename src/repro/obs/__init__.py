@@ -1,0 +1,24 @@
+"""Observability layer: hierarchical metrics, stall-cause cycle accounting,
+and the performance-trajectory snapshot tooling.
+
+The subsystem replaces the flat per-run ``stats`` dicts that used to be
+scattered across the pipeline and the protection engines:
+
+* :mod:`repro.obs.metrics` — the hierarchical :class:`Metrics` tree every
+  simulation emits (scalars, histograms, nested groups; JSON round-trip;
+  gem5-``stats.txt``-style rendering).
+* :mod:`repro.obs.stall` — the stall-cause taxonomy: every core cycle is
+  attributed to exactly one cause, with an enforced sum-to-total identity.
+* :mod:`repro.obs.bench` — ``repro bench record`` / ``repro bench compare``:
+  schema-versioned ``BENCH_<date>.json`` performance snapshots and the
+  tolerance-gated diff CI uses to catch perf regressions.
+* :mod:`repro.obs.cli` — the ``repro stats`` and ``repro bench``
+  subcommands.
+"""
+
+from repro.obs.metrics import Metrics
+from repro.obs.stall import (STALL_CAUSES, StallCause, attribute_cycle,
+                             stall_breakdown)
+
+__all__ = ["Metrics", "StallCause", "STALL_CAUSES", "attribute_cycle",
+           "stall_breakdown"]

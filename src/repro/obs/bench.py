@@ -1,0 +1,219 @@
+"""Performance-trajectory snapshots: ``repro bench record`` / ``compare``.
+
+A snapshot (``BENCH_<date>.json``) freezes everything CI needs to detect a
+performance regression in one schema-versioned JSON file:
+
+* **Simulator throughput** — wall-clock and retired instructions/second of
+  an uncached reference simulation (best of several repetitions, which
+  absorbs scheduler noise on shared CI runners).
+* **Headline Figure-7 overheads** — the Section 9.2 numbers from a full
+  (workload, configuration, model) sweep at the snapshot budget.  These
+  are *model outputs*, not timings: the simulation is deterministic
+  integer arithmetic, so they must match a committed baseline to within
+  float-printing noise, and any drift means the modelled microarchitecture
+  changed.
+* **Stall-cause breakdown** — the fraction of cycles per
+  :class:`~repro.obs.stall.StallCause` for the reference cell (mcf under
+  full SPT, FUTURISTIC model): the shape of *where the overhead goes*.
+
+``compare`` diffs two snapshots under configurable tolerances and returns
+non-zero on regression; the CI ``perf-regression`` job gates on it against
+``benchmarks/baselines/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import time
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.experiments import figure7
+from repro.harness.configs import FIGURE7_ORDER, FULL_SPT
+from repro.harness.runner import bench_budget, bench_scale, run_one
+from repro.obs.stall import stall_breakdown
+
+SCHEMA_VERSION = 1
+
+# The reference cell for throughput and the stall-shape snapshot: mcf is
+# the paper's canonical memory-bound victim and the workload where SPT's
+# overhead mechanisms (delayed loads, broadcast pressure) bite hardest.
+THROUGHPUT_WORKLOAD = "mcf"
+STALL_WORKLOAD = "mcf"
+STALL_CONFIG = FULL_SPT
+STALL_MODEL = AttackModel.FUTURISTIC
+
+
+def default_snapshot_name(today: Optional[datetime.date] = None) -> str:
+    day = today or datetime.date.today()
+    return f"BENCH_{day.strftime('%Y%m%d')}.json"
+
+
+def _throughput_probe(budget: int, scale: int, reps: int) -> dict:
+    """Best-of-``reps`` uncached simulation speed (instructions/second)."""
+    best = None
+    instructions = 0
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        result = run_one(THROUGHPUT_WORKLOAD, "UnsafeBaseline",
+                         model=AttackModel.FUTURISTIC, scale=scale,
+                         max_instructions=budget)
+        elapsed = time.perf_counter() - start
+        instructions = result.retired
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "workload": THROUGHPUT_WORKLOAD,
+        "reps": max(1, reps),
+        "instructions": instructions,
+        "best_wall_seconds": best,
+        "instr_per_sec": instructions / best if best else 0.0,
+    }
+
+
+def _stall_shape(budget: int, scale: int) -> dict:
+    """Per-cause cycle fractions for the reference protection cell."""
+    result = run_one(STALL_WORKLOAD, STALL_CONFIG, model=STALL_MODEL,
+                     scale=scale, max_instructions=budget)
+    cycles = stall_breakdown(result.metrics)
+    total = max(1, sum(cycles.values()))
+    return {
+        "workload": STALL_WORKLOAD,
+        "config": STALL_CONFIG,
+        "model": STALL_MODEL.value,
+        "total_cycles": sum(cycles.values()),
+        "cycles": cycles,
+        "fractions": {cause: count / total for cause, count in cycles.items()},
+    }
+
+
+def record_snapshot(budget: Optional[int] = None,
+                    scale: Optional[int] = None,
+                    jobs: Optional[int] = None,
+                    use_cache: Optional[bool] = None,
+                    reps: int = 3,
+                    workloads: Optional[list] = None) -> dict:
+    """Measure everything and return the snapshot dict (not yet written).
+
+    ``workloads`` restricts the overhead sweep (tests use a small subset);
+    snapshots record their workload set and ``compare`` refuses to diff
+    snapshots whose sets differ.
+    """
+    budget = budget or bench_budget()
+    scale = scale or bench_scale()
+    data = figure7.collect(workloads=workloads, scale=scale, budget=budget,
+                           jobs=jobs, use_cache=use_cache)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "recorded_at": datetime.datetime.now().isoformat(timespec="seconds"),
+        "budget": budget,
+        "scale": scale,
+        "workloads": list(data.workloads),
+        "configs": ["UnsafeBaseline"] + list(FIGURE7_ORDER),
+        "throughput": _throughput_probe(budget, scale, reps),
+        "overheads": figure7.headline(data),
+        "stall": _stall_shape(budget, scale),
+    }
+
+
+def write_snapshot(snapshot: dict, path: str) -> str:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    version = snapshot.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: snapshot schema {version!r} is not the supported "
+            f"schema {SCHEMA_VERSION} (re-record the baseline)")
+    return snapshot
+
+
+def compare_snapshots(baseline: dict, current: dict,
+                      throughput_tolerance: float = 0.30,
+                      overhead_tolerance: float = 1e-6,
+                      stall_tolerance: float = 1e-6) -> list:
+    """Diff two snapshots; returns the list of regression descriptions.
+
+    * Throughput is a one-sided check: ``current`` may be up to
+      ``throughput_tolerance`` (a fraction) slower than ``baseline``;
+      being faster never fails.
+    * Overheads and stall fractions are two-sided (absolute difference):
+      the simulation is deterministic, so with the default near-zero
+      tolerances any drift flags a modelling change that must be
+      acknowledged by re-recording the baseline.
+    """
+    failures: list = []
+    for field in ("budget", "scale", "workloads"):
+        if baseline.get(field) != current.get(field):
+            failures.append(
+                f"incomparable snapshots: {field} differs "
+                f"({baseline.get(field)!r} vs {current.get(field)!r})")
+    if failures:
+        return failures
+
+    base_tp = baseline["throughput"]["instr_per_sec"]
+    cur_tp = current["throughput"]["instr_per_sec"]
+    floor = base_tp * (1.0 - throughput_tolerance)
+    if cur_tp < floor:
+        failures.append(
+            f"throughput regression: {cur_tp:,.0f} instr/s is below "
+            f"{floor:,.0f} (baseline {base_tp:,.0f} "
+            f"- {throughput_tolerance:.0%} tolerance)")
+
+    base_over = baseline["overheads"]
+    cur_over = current["overheads"]
+    for key in sorted(set(base_over) | set(cur_over)):
+        old = base_over.get(key)
+        new = cur_over.get(key)
+        if old is None or new is None:
+            failures.append(f"overhead {key}: present in only one snapshot")
+            continue
+        if abs(new - old) > overhead_tolerance:
+            failures.append(
+                f"overhead shape changed: {key} {old:.6f} -> {new:.6f} "
+                f"(tolerance {overhead_tolerance})")
+
+    base_frac = baseline["stall"]["fractions"]
+    cur_frac = current["stall"]["fractions"]
+    for cause in sorted(set(base_frac) | set(cur_frac)):
+        old = base_frac.get(cause, 0.0)
+        new = cur_frac.get(cause, 0.0)
+        if abs(new - old) > stall_tolerance:
+            failures.append(
+                f"stall shape changed: {cause} {old:.6f} -> {new:.6f} "
+                f"of cycles (tolerance {stall_tolerance})")
+    return failures
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable one-screen summary of a snapshot."""
+    tp = snapshot["throughput"]
+    lines = [
+        f"bench snapshot (schema {snapshot['schema_version']}, "
+        f"recorded {snapshot['recorded_at']})",
+        f"  budget {snapshot['budget']} instructions, "
+        f"scale {snapshot['scale']}, {len(snapshot['workloads'])} workloads",
+        f"  throughput: {tp['instr_per_sec']:,.0f} instr/s "
+        f"({tp['workload']}, best of {tp['reps']})",
+        "  overheads:",
+    ]
+    for key, value in sorted(snapshot["overheads"].items()):
+        lines.append(f"    {key:38s} = {value:8.4f}")
+    stall = snapshot["stall"]
+    lines.append(f"  stall breakdown ({stall['workload']} under "
+                 f"{stall['config']}, {stall['model']}):")
+    for cause, fraction in sorted(stall["fractions"].items(),
+                                  key=lambda item: -item[1]):
+        if fraction > 0:
+            lines.append(f"    {cause:28s} {fraction:7.2%}")
+    return "\n".join(lines)

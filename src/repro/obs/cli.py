@@ -1,0 +1,133 @@
+"""``repro stats`` and ``repro bench`` subcommands.
+
+``stats`` runs one (workload, configuration, model) cell and renders the
+hierarchical metrics tree — gem5-``stats.txt``-style text by default,
+``--json`` for the raw nested form.  The legacy Appendix A.4 artifact
+interface (``python -m repro.cli <workload> ...``) is unchanged and keeps
+emitting the flat compatibility view.
+
+``bench record`` writes a schema-versioned performance snapshot;
+``bench compare`` diffs two snapshots and exits non-zero on regression
+(see :mod:`repro.obs.bench`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.harness.configs import CONFIGURATIONS
+from repro.harness.runner import run_one
+from repro.obs import bench
+from repro.obs.metrics import Metrics
+
+
+def _build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Run one simulation and render its metrics hierarchy.")
+    parser.add_argument("workload", help="registered workload name")
+    parser.add_argument("--config", default="UnsafeBaseline",
+                        choices=sorted(CONFIGURATIONS),
+                        help="Table 2 configuration (default: UnsafeBaseline)")
+    parser.add_argument("--threat-model", choices=["spectre", "futuristic"],
+                        default="futuristic")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--max-instructions", type=int, default=100_000)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the nested JSON form instead of text")
+    return parser
+
+
+def stats_main(argv: Optional[list] = None) -> int:
+    args = _build_stats_parser().parse_args(argv)
+    result = run_one(args.workload, args.config,
+                     model=AttackModel(args.threat_model),
+                     scale=args.scale,
+                     max_instructions=args.max_instructions)
+    if args.json:
+        print(json.dumps(result.metrics, indent=2, sort_keys=True))
+        return 0
+    tree = Metrics.from_dict(result.metrics, name="sim")
+    title = (f"Simulation Metrics: {result.workload} under {result.config} "
+             f"({result.model.value})")
+    sys.stdout.write(tree.render(title))
+    return 0
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Record and compare performance-trajectory snapshots.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="measure and write a snapshot")
+    record.add_argument("-o", "--output", default=None,
+                        help="output path (default: BENCH_<date>.json)")
+    record.add_argument("--budget", type=int, default=None,
+                        help="retired-instruction budget per run "
+                             "(default: REPRO_BENCH_BUDGET or 2500)")
+    record.add_argument("--scale", type=int, default=None)
+    record.add_argument("--jobs", type=int, default=None)
+    record.add_argument("--reps", type=int, default=3,
+                        help="throughput-probe repetitions (best wins)")
+    record.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+
+    compare = sub.add_parser(
+        "compare", help="diff two snapshots; non-zero exit on regression")
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("current", help="current BENCH_*.json")
+    compare.add_argument("--throughput-tolerance", type=float, default=0.30,
+                         help="allowed fractional throughput loss "
+                              "(default: 0.30)")
+    compare.add_argument("--overhead-tolerance", type=float, default=1e-6,
+                         help="allowed absolute drift per headline overhead")
+    compare.add_argument("--stall-tolerance", type=float, default=1e-6,
+                         help="allowed absolute drift per stall fraction")
+
+    show = sub.add_parser("show", help="summarise a snapshot")
+    show.add_argument("snapshot", help="BENCH_*.json to render")
+    return parser
+
+
+def bench_main(argv: Optional[list] = None) -> int:
+    args = _build_bench_parser().parse_args(argv)
+    if args.command == "record":
+        snapshot = bench.record_snapshot(
+            budget=args.budget, scale=args.scale, jobs=args.jobs,
+            use_cache=False if args.no_cache else None, reps=args.reps)
+        path = bench.write_snapshot(
+            snapshot, args.output or bench.default_snapshot_name())
+        print(bench.render_snapshot(snapshot))
+        print(f"snapshot written to {path}")
+        return 0
+    if args.command == "compare":
+        try:
+            baseline = bench.load_snapshot(args.baseline)
+            current = bench.load_snapshot(args.current)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        failures = bench.compare_snapshots(
+            baseline, current,
+            throughput_tolerance=args.throughput_tolerance,
+            overhead_tolerance=args.overhead_tolerance,
+            stall_tolerance=args.stall_tolerance)
+        if failures:
+            print(f"{len(failures)} regression(s) against {args.baseline}:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(f"no regressions against {args.baseline}")
+        return 0
+    try:
+        snapshot = bench.load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(bench.render_snapshot(snapshot))
+    return 0

@@ -24,6 +24,8 @@ from repro.isa.opcodes import Kind, NUM_ARCH_REGS, WORD_MASK
 from repro.isa.semantics import alu_result, branch_taken, effective_address
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.main_memory import MainMemory
+from repro.obs.metrics import Metrics
+from repro.obs.stall import NUM_CAUSES, STALL_CAUSES, StallCause, attribute_cycle
 from repro.pipeline.branch_predictor import BranchPredictor
 from repro.pipeline.dyninst import DynInst
 from repro.pipeline.engine_api import ProtectionEngine
@@ -31,24 +33,35 @@ from repro.pipeline.params import MachineParams
 from repro.pipeline.rename import RenameUnit
 from repro.security.observer import Observer
 
+_RETIRING = int(StallCause.RETIRING)
+
 
 class SimulationError(Exception):
     """Raised when the simulation wedges (deadlock / cycle cap)."""
 
 
 class SimResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``metrics`` is the hierarchical :class:`~repro.obs.metrics.Metrics`
+    tree (stall accounting, taint lifecycle, engine counters); ``stats``
+    is the flat compatibility view the pre-observability code consumed
+    (original key names, engine counters under an ``engine.`` prefix).
+    """
 
     def __init__(self, core: "OoOCore", halted: bool):
-        core._flush_stat_counters()
+        self.metrics = core.build_metrics()
         self.cycles = core.cycle
         self.retired = core.retired_count
         self.halted = halted
         self.arch_regs = [core.rename.arch_value(i) for i in range(NUM_ARCH_REGS)]
         self.memory = core.memory
         self.observer = core.observer
-        self.stats = dict(core.stats)
-        self.stats.update({f"engine.{k}": v for k, v in core.engine.stats.items()})
+        self.stats = core.legacy_stats()
+        engine_tree = self.metrics.groups.get("engine")
+        if engine_tree is not None:
+            self.stats.update({f"engine.{k}": v
+                               for k, v in engine_tree.flatten().items()})
         self.config_name = core.engine.name
         self.retired_pcs = core.retired_pcs
 
@@ -110,27 +123,77 @@ class OoOCore:
         # Optional sink for squashed instructions (used by the tracer).
         self.squash_sink: Optional[list] = None
 
-        self.stats: dict[str, int] = {
-            "squashes": 0, "mispredicts": 0, "fetched": 0,
-            "transmitters_delayed_cycles": 0, "resolutions_delayed_cycles": 0,
-            "loads_forwarded": 0, "loads_forwarded_with_cache_access": 0,
-            "mem_order_violations": 0,
-        }
-        # Hot-path counters kept as plain attributes (a dict increment per
-        # delayed transmitter per cycle dominates the issue loop otherwise);
-        # folded into ``stats`` by ``_flush_stat_counters``.
+        # Event counters as plain attributes (a dict increment per delayed
+        # transmitter per cycle dominates the issue loop otherwise); the
+        # metrics hierarchy is built from them at collection time.
+        self.n_squashes = 0
+        self.n_mispredicts = 0
+        self.n_fetched = 0
+        self.n_loads_forwarded = 0
+        self.n_loads_forwarded_cache = 0
+        self.n_mem_order_violations = 0
         self._transmitters_delayed = 0
         self._resolutions_delayed = 0
         self._lq_used = 0
         self._sq_used = 0
+
+        # Stall-cause cycle accounting (repro.obs.stall): one bucket per
+        # cycle, indexed by StallCause; the sum equals ``cycle`` always.
+        self.stall_counts: list[int] = [0] * NUM_CAUSES
+        self.dispatch_block = -1          # StallCause index or -1, per cycle
+        self.last_squash_cycle = -(10 ** 9)
         self.engine.attach(self)
 
-    def _flush_stat_counters(self) -> None:
-        """Fold the local hot-path counters into the ``stats`` dict."""
-        self.stats["transmitters_delayed_cycles"] += self._transmitters_delayed
-        self.stats["resolutions_delayed_cycles"] += self._resolutions_delayed
-        self._transmitters_delayed = 0
-        self._resolutions_delayed = 0
+    # ------------------------------------------------------------- metrics
+    def legacy_stats(self) -> dict:
+        """Flat compatibility view with the pre-observability key names."""
+        return {
+            "squashes": self.n_squashes,
+            "mispredicts": self.n_mispredicts,
+            "fetched": self.n_fetched,
+            "transmitters_delayed_cycles": self._transmitters_delayed,
+            "resolutions_delayed_cycles": self._resolutions_delayed,
+            "loads_forwarded": self.n_loads_forwarded,
+            "loads_forwarded_with_cache_access": self.n_loads_forwarded_cache,
+            "mem_order_violations": self.n_mem_order_violations,
+        }
+
+    def build_metrics(self) -> Metrics:
+        """Assemble the hierarchical metrics tree for this run.
+
+        Idempotent (derived values are ``set``, never accumulated): the
+        tracer and :class:`SimResult` may both collect it.
+        """
+        m = Metrics("sim")
+        sim = m.child("sim")
+        sim.set("cycles", self.cycle)
+        sim.set("retired", self.retired_count)
+        sim.set("ipc", self.retired_count / self.cycle if self.cycle else 0.0)
+        frontend = m.child("frontend")
+        frontend.set("fetched", self.n_fetched)
+        spec = m.child("speculation")
+        spec.set("squashes", self.n_squashes)
+        spec.set("mispredicts", self.n_mispredicts)
+        spec.set("mem_order_violations", self.n_mem_order_violations)
+        mem = m.child("memory")
+        mem.set("loads_forwarded", self.n_loads_forwarded)
+        mem.set("loads_forwarded_with_cache_access",
+                self.n_loads_forwarded_cache)
+        for cache in (self.hierarchy.l1, self.hierarchy.l2, self.hierarchy.l3):
+            level = mem.child(cache.params.name.lower())
+            level.set("hits", cache.stats.hits)
+            level.set("misses", cache.stats.misses)
+        protection = m.child("protection")
+        protection.set("transmitters_delayed_cycles",
+                       self._transmitters_delayed)
+        protection.set("resolutions_delayed_cycles",
+                       self._resolutions_delayed)
+        stalls = m.child("stalls")
+        for cause in STALL_CAUSES:
+            stalls.set(cause.key, self.stall_counts[cause])
+        stalls.set("total", sum(self.stall_counts))
+        m.groups["engine"] = self.engine.metrics_tree()
+        return m
 
     # ----------------------------------------------------------------- utils
     def rob_occupancy(self) -> int:
@@ -170,6 +233,7 @@ class OoOCore:
     def step(self) -> None:
         """Advance the machine by one clock cycle."""
         self.cycle += 1
+        retired_before = self.retired_count
         self._writeback()
         self._memory_stage()
         self._resolve_control()
@@ -178,6 +242,12 @@ class OoOCore:
         self._dispatch()
         self._fetch()
         self.engine.tick()
+        # Attribute the cycle (repro.obs.stall).  Retiring cycles — the
+        # common case — are counted inline without the classifier.
+        if self.retired_count != retired_before:
+            self.stall_counts[_RETIRING] += 1
+        else:
+            self.stall_counts[attribute_cycle(self)] += 1
 
     # ------------------------------------------------------------- writeback
     def _writeback(self) -> None:
@@ -228,6 +298,7 @@ class OoOCore:
             if di.is_transmitter and not (di.reached_vp
                                           or may_compute_address(di)):
                 delayed += 1
+                di.engine_delayed = True
                 append(di)
                 continue
             self._execute(di)
@@ -248,6 +319,8 @@ class OoOCore:
         """Begin execution of an RS entry (operands are ready)."""
         di.issued = True
         di.issue_cycle = self.cycle
+        if di.engine_delayed:
+            di.engine_delayed = False
         rename = self.rename
         kind = di.kind
         if di.info.reads_rs1:
@@ -324,7 +397,7 @@ class OoOCore:
         if forward_store is not None and not forward_store.complete:
             return    # forwarding needed but the store data is not ready yet
         if forward_store is not None:
-            self.stats["loads_forwarded"] += 1
+            self.n_loads_forwarded += 1
             load.forwarded_from = forward_store
             load.fwding_st = forward_store.seq
             if self.engine.skip_cache_for_forwarding(load, forward_store):
@@ -334,7 +407,7 @@ class OoOCore:
                 load.mem_issued = True
                 self._schedule_load_completion(load, 1)
                 return
-            self.stats["loads_forwarded_with_cache_access"] += 1
+            self.n_loads_forwarded_cache += 1
         access = self.hierarchy.access(load.address, self.cycle)
         if access.stalled:
             return    # MSHRs exhausted; retry next cycle
@@ -406,7 +479,7 @@ class OoOCore:
             if (load.forwarded_from is not None
                     and load.forwarded_from.seq >= store.seq):
                 continue        # took its data from this store or younger
-            self.stats["mem_order_violations"] += 1
+            self.n_mem_order_violations += 1
             self._squash_from(load)
             return
 
@@ -463,6 +536,7 @@ class OoOCore:
                 continue
             if not (di.reached_vp or self.engine.may_resolve(di)):
                 self._resolutions_delayed += 1
+                di.resolution_delayed = True
                 still_pending.append(di)
                 continue
             self._apply_resolution(di)
@@ -482,18 +556,20 @@ class OoOCore:
 
     def _apply_resolution(self, di: DynInst) -> None:
         di.resolution_applied = True
+        di.resolution_delayed = False
         self.predictor.resolve(di.pc, di.inst, di.actual_taken,
                                di.actual_target, di.history_snapshot,
                                di.mispredicted)
         self.observer.predictor_update(self.cycle, di.pc, di.actual_taken)
         if di.mispredicted:
-            self.stats["mispredicts"] += 1
+            self.n_mispredicts += 1
             self._squash_after(di)
             self._redirect_fetch(di.actual_target)
 
     def _squash_after(self, di: DynInst) -> None:
         """Flush every instruction younger than ``di``."""
-        self.stats["squashes"] += 1
+        self.n_squashes += 1
+        self.last_squash_cycle = self.cycle
         self.observer.squash(self.cycle, di.pc)
         squashed: list[DynInst] = []
         while len(self.rob) > self.rob_head and self.rob[-1].seq > di.seq:
@@ -581,19 +657,28 @@ class OoOCore:
     def _dispatch(self) -> None:
         width = self.params.issue_width
         dispatched = 0
+        # Record why dispatch stalled (if it did) for the cycle accountant;
+        # phys-reg exhaustion is folded into rob-full (both are window-size
+        # backpressure in this model).
+        self.dispatch_block = -1
         while (self.fetch_buffer and dispatched < width
                and self.fetch_buffer[0][0] <= self.cycle):
             di = self.fetch_buffer[0][1]
             if self.rob_occupancy() >= self.params.rob_entries:
+                self.dispatch_block = int(StallCause.ROB_FULL)
                 break
             if self.rename.free_count() == 0 and di.inst.dest_reg() is not None:
+                self.dispatch_block = int(StallCause.ROB_FULL)
                 break
             needs_rs = di.kind not in (Kind.HALT, Kind.NOP, Kind.JUMP)
             if needs_rs and len(self.rs) >= self.params.rs_entries:
+                self.dispatch_block = int(StallCause.RS_FULL)
                 break
             if di.is_load and self._lsq_count(is_store=False) >= self.params.lq_entries:
+                self.dispatch_block = int(StallCause.LSQ_FULL)
                 break
             if di.is_store and self._lsq_count(is_store=True) >= self.params.sq_entries:
+                self.dispatch_block = int(StallCause.LSQ_FULL)
                 break
             self.fetch_buffer.pop(0)
             di.dispatch_cycle = self.cycle
@@ -660,7 +745,7 @@ class OoOCore:
             di = DynInst(self.seq, self.fetch_pc, inst)
             di.fetch_cycle = self.cycle
             self.seq += 1
-            self.stats["fetched"] += 1
+            self.n_fetched += 1
             ready = self.cycle + self.params.frontend_delay
             kind = inst.info.kind
             if kind == Kind.HALT:

@@ -29,6 +29,9 @@ class DynInst:
         "rs1_value", "rs2_value", "result",
         # Scheduling.
         "issued", "complete", "ready_cycle", "retired", "squashed",
+        # Stall attribution (repro.obs.stall): why this instruction is
+        # currently held back, if the protection engine is the reason.
+        "engine_delayed", "resolution_delayed",
         # Lifecycle timestamps (for the pipeline tracer).
         "fetch_cycle", "dispatch_cycle", "issue_cycle", "complete_cycle",
         "retire_cycle",
@@ -73,6 +76,8 @@ class DynInst:
         self.ready_cycle = -1
         self.retired = False
         self.squashed = False
+        self.engine_delayed = False
+        self.resolution_delayed = False
         self.fetch_cycle = -1
         self.dispatch_cycle = -1
         self.issue_cycle = -1

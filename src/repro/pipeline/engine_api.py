@@ -5,11 +5,19 @@ attached :class:`ProtectionEngine` at three gating points (transmitter address
 computation, branch resolution, store-to-load-forwarding visibility) and
 notifies it of every microarchitectural event it needs for taint tracking.
 The engines in :mod:`repro.core` (STT, SPT, baselines) subclass this.
+
+Each engine owns a :class:`~repro.obs.metrics.Metrics` node; the core grafts
+it into the run's metrics hierarchy under ``engine.`` when the simulation
+finishes.  ``bump`` is the cheap hot-path counter API; subclasses with
+richer state (SPT's untaint machinery) override :meth:`metrics_tree` to
+fold it in at collection time.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
+
+from repro.obs.metrics import Metrics
 
 if TYPE_CHECKING:
     from repro.pipeline.core import OoOCore
@@ -25,13 +33,22 @@ class ProtectionEngine:
 
     def __init__(self) -> None:
         self.core: Optional["OoOCore"] = None
-        self.stats: dict[str, int] = {}
+        self.metrics = Metrics("engine")
 
     def attach(self, core: "OoOCore") -> None:
         self.core = core
 
     def bump(self, stat: str, amount: int = 1) -> None:
-        self.stats[stat] = self.stats.get(stat, 0) + amount
+        self.metrics.add(stat, amount)
+
+    def metrics_tree(self) -> Metrics:
+        """The engine's contribution to the run's metrics hierarchy.
+
+        Idempotent: collection may happen more than once per run (e.g. a
+        tracer building an intermediate result), so subclasses must only
+        ``set``/``set_dist`` derived values, never accumulate here.
+        """
+        return self.metrics
 
     # ------------------------------------------------------------- gating
     def may_compute_address(self, di: "DynInst") -> bool:
@@ -50,6 +67,17 @@ class ProtectionEngine:
         store-to-load-forwarding protection (paper Section 6.7).
         """
         return True
+
+    # ----------------------------------------------------------- accounting
+    def untaint_pending(self, preg: int) -> bool:
+        """Is an untaint of ``preg`` queued behind the broadcast width?
+
+        Consulted by the stall accountant to attribute cycles where the
+        critical instruction waits on a register whose untaint sits in the
+        (width-limited) broadcast queue.  Engines without a broadcast
+        queue never stall on it.
+        """
+        return False
 
     # -------------------------------------------------------------- events
     def on_rename(self, di: "DynInst") -> None:

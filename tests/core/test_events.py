@@ -34,3 +34,30 @@ def test_kinds_are_exclusive_and_stable():
     assert len(values) == len(set(values))
     assert "forward" in values and "backward" in values
     assert "stl-forward" in values and "stl-backward" in values
+
+
+def test_log2_bucket_boundaries():
+    from repro.core.events import log2_bucket
+    assert log2_bucket(0) == 0
+    assert log2_bucket(1) == 1
+    assert [log2_bucket(v) for v in (2, 3)] == [2, 2]
+    assert [log2_bucket(v) for v in (4, 7)] == [3, 3]
+    assert log2_bucket(8) == 4
+    assert log2_bucket(1023) == 10
+
+
+def test_latency_histogram_buckets_by_kind():
+    stats = UntaintStats()
+    stats.record_latency(UntaintKind.FORWARD, 3)
+    stats.record_latency(UntaintKind.FORWARD, 2)
+    stats.record_latency(UntaintKind.BACKWARD, 9)
+    assert stats.latency_by_kind[UntaintKind.FORWARD] == {2: 2}
+    assert stats.latency_by_kind[UntaintKind.BACKWARD] == {4: 1}
+
+
+def test_queue_wait_histogram():
+    stats = UntaintStats()
+    stats.record_queue_wait(0)
+    stats.record_queue_wait(1)
+    stats.record_queue_wait(5)
+    assert stats.queue_wait == {0: 1, 1: 1, 3: 1}

@@ -1,5 +1,7 @@
 """Tests for the parallel fan-out layer (``repro.harness.parallel``)."""
 
+import time
+
 import pytest
 
 from repro.core.attack_model import AttackModel
@@ -120,6 +122,27 @@ def test_default_timeout_env(monkeypatch):
     monkeypatch.setenv("REPRO_RUN_TIMEOUT", "soon")
     with pytest.raises(ValueError, match="REPRO_RUN_TIMEOUT"):
         default_timeout()
+
+
+def test_timeout_does_not_wait_for_the_hung_run():
+    """A run exceeding its timeout must fail the sweep *promptly*.
+
+    Regression test: ``_run_pool`` used to exit through the executor's
+    context manager, whose shutdown joins running workers — so a wedged
+    simulation stalled the sweep for however long the hang lasted, long
+    past the deadline the timeout promised.  The specs below each take
+    tens of seconds of simulation; the sweep must abandon them within
+    the timeout plus pool-management overhead.
+    """
+    slow = [RunSpec("mcf", "UnsafeBaseline", scale=150 + extra,
+                    max_instructions=10_000_000) for extra in (0, 1)]
+    start = time.perf_counter()
+    with pytest.raises(RunFailure, match="timeout"):
+        run_many(slow, jobs=2, timeout=1.5, use_cache=False)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 8.0, (
+        f"sweep took {elapsed:.1f}s after a 1.5s timeout: the pool "
+        f"shutdown waited for the hung simulation")
 
 
 def test_pool_failure_falls_back_to_serial(monkeypatch):

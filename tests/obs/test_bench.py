@@ -1,0 +1,122 @@
+"""Tests for performance snapshots (``repro.obs.bench``) and the CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.cli import bench_main, stats_main
+from repro.obs.stall import STALL_CAUSES
+
+BUDGET = 120
+WORKLOADS = ["mcf", "djbsort"]
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    return bench.record_snapshot(budget=BUDGET, jobs=1, reps=1,
+                                 workloads=WORKLOADS)
+
+
+def test_snapshot_shape(snapshot):
+    assert snapshot["schema_version"] == bench.SCHEMA_VERSION
+    assert snapshot["budget"] == BUDGET
+    assert snapshot["workloads"] == WORKLOADS
+    assert snapshot["throughput"]["instr_per_sec"] > 0
+    assert snapshot["throughput"]["workload"] == bench.THROUGHPUT_WORKLOAD
+    assert snapshot["overheads"], "headline overheads must be non-empty"
+    fractions = snapshot["stall"]["fractions"]
+    assert set(fractions) == {cause.key for cause in STALL_CAUSES}
+    assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    assert snapshot["stall"]["total_cycles"] == \
+        sum(snapshot["stall"]["cycles"].values())
+
+
+def test_write_load_round_trip(snapshot, tmp_path):
+    path = bench.write_snapshot(snapshot, str(tmp_path / "BENCH_test.json"))
+    loaded = bench.load_snapshot(path)
+    assert loaded == json.loads(json.dumps(snapshot))
+
+
+def test_load_rejects_unknown_schema(snapshot, tmp_path):
+    stale = dict(snapshot, schema_version=bench.SCHEMA_VERSION + 1)
+    path = bench.write_snapshot(stale, str(tmp_path / "BENCH_stale.json"))
+    with pytest.raises(ValueError, match="schema"):
+        bench.load_snapshot(path)
+
+
+def test_compare_self_is_clean(snapshot):
+    assert bench.compare_snapshots(snapshot, snapshot) == []
+
+
+def test_compare_flags_throughput_regression(snapshot):
+    slow = copy.deepcopy(snapshot)
+    slow["throughput"]["instr_per_sec"] /= 2.0
+    failures = bench.compare_snapshots(snapshot, slow)
+    assert len(failures) == 1
+    assert "throughput regression" in failures[0]
+    # A 2x speed-up is never a failure (one-sided check).
+    assert bench.compare_snapshots(slow, snapshot) == []
+
+
+def test_compare_flags_overhead_drift(snapshot):
+    drifted = copy.deepcopy(snapshot)
+    key = sorted(drifted["overheads"])[0]
+    drifted["overheads"][key] += 0.01
+    failures = bench.compare_snapshots(snapshot, drifted)
+    assert any("overhead shape changed" in f and key in f for f in failures)
+
+
+def test_compare_flags_stall_shape_drift(snapshot):
+    drifted = copy.deepcopy(snapshot)
+    drifted["stall"]["fractions"]["retiring"] += 0.05
+    failures = bench.compare_snapshots(snapshot, drifted)
+    assert any("stall shape changed: retiring" in f for f in failures)
+
+
+def test_compare_refuses_mismatched_sweeps(snapshot):
+    other = copy.deepcopy(snapshot)
+    other["budget"] = BUDGET * 2
+    failures = bench.compare_snapshots(snapshot, other)
+    assert failures == [f"incomparable snapshots: budget differs "
+                        f"({BUDGET!r} vs {BUDGET * 2!r})"]
+
+
+def test_bench_cli_compare_exit_codes(snapshot, tmp_path):
+    base = bench.write_snapshot(snapshot, str(tmp_path / "base.json"))
+    slow = copy.deepcopy(snapshot)
+    slow["throughput"]["instr_per_sec"] /= 2.0
+    regressed = bench.write_snapshot(slow, str(tmp_path / "slow.json"))
+
+    assert bench_main(["compare", base, base]) == 0
+    assert bench_main(["compare", base, regressed]) == 1
+    assert bench_main(["compare", base, str(tmp_path / "missing.json")]) == 2
+    assert bench_main(["show", base]) == 0
+
+
+def test_bench_cli_record(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_BUDGET", str(BUDGET))
+    out = str(tmp_path / "BENCH_cli.json")
+    assert bench_main(["record", "-o", out, "--reps", "1",
+                       "--jobs", "1"]) == 0
+    recorded = bench.load_snapshot(out)
+    assert recorded["budget"] == BUDGET
+
+
+def test_stats_cli_json(capsys):
+    assert stats_main(["mcf", "--config", "SPT{Bwd,ShadowL1}",
+                       "--max-instructions", "300", "--json"]) == 0
+    blob = json.loads(capsys.readouterr().out)
+    groups = blob["groups"]
+    assert groups["sim"]["scalars"]["cycles"] > 0
+    assert "stalls" in groups
+    assert "engine" in groups
+
+
+def test_stats_cli_text(capsys):
+    assert stats_main(["mcf", "--max-instructions", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "Begin Simulation Metrics" in out
+    assert "sim.cycles" in out
+    assert "stalls." in out

@@ -1,0 +1,31 @@
+"""Stall accounting identity: every cycle has exactly one cause.
+
+ISSUE acceptance criterion: for every (workload, configuration, model)
+cell of the Figure-7 sweep, the per-cause stall cycles must sum to the
+simulated cycle count — no cycle unaccounted, none double-counted.
+"""
+
+import pytest
+
+from repro.harness.configs import FIGURE7_ORDER
+from repro.harness.runner import run_one
+from repro.obs.stall import stall_breakdown
+
+from tests.conftest import BOTH_MODELS
+
+BUDGET = 300
+WORKLOADS = ["mcf", "djbsort", "xz"]
+CONFIGS = ["UnsafeBaseline"] + list(FIGURE7_ORDER)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("model", BOTH_MODELS)
+def test_stall_cycles_sum_to_total(workload, config, model):
+    result = run_one(workload, config, model=model,
+                     max_instructions=BUDGET)
+    breakdown = stall_breakdown(result.metrics)
+    assert sum(breakdown.values()) == result.cycles, (
+        f"{workload}/{config}/{model.value}: stall causes sum to "
+        f"{sum(breakdown.values())} but the core ran {result.cycles} cycles")
+    assert all(count >= 0 for count in breakdown.values())

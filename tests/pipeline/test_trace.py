@@ -78,3 +78,71 @@ def test_entry_cap():
 def test_render_empty():
     tracer = PipelineTracer(OoOCore(assemble(SIMPLE)))
     assert "no trace entries" in tracer.render()
+
+
+def test_beyond_window_marker():
+    """Events past the rendered window collapse onto a '>' in the last column."""
+    tracer = trace_program(assemble(SIMPLE))
+    narrow = tracer.render(width=4)
+    lanes = [line.split()[-1] for line in narrow.splitlines()[1:]]
+    assert any(lane.endswith(">") for lane in lanes)
+    # A window wide enough for the whole run renders no overflow marker.
+    wide = tracer.render(width=512)
+    assert ">" not in wide.split("pipeline", 1)[1]
+
+
+def test_issue_delay_of_unissued_entry_is_zero():
+    entry = PipelineTracer(OoOCore(assemble(SIMPLE))).entries
+    assert entry == []
+    from repro.pipeline.trace import TraceEntry
+    never_issued = TraceEntry(seq=0, pc=0, text="ld", fetch=0, dispatch=1,
+                              issue=-1, complete=-1, retire=-1, squashed=False)
+    assert never_issued.issue_delay == 0
+
+
+def test_delayed_transmitters_threshold_monotonic():
+    source = """
+        ld a0, 0x4000(zero)
+        ld a1, 0(a0)
+        halt
+    """
+    tracer = trace_program(assemble(source),
+                           engine=SPTEngine(AttackModel.FUTURISTIC))
+    loose = tracer.delayed_transmitters(threshold=0)
+    tight = tracer.delayed_transmitters(threshold=10_000)
+    assert len(loose) >= len(tracer.delayed_transmitters()) >= len(tight)
+    assert tight == []
+    assert all(not e.squashed for e in loose)
+
+
+def test_squashed_count_matches_entries():
+    source = """
+        li t0, 5
+        li t1, 0
+    loop:
+        addi t1, t1, 1
+        addi t0, t0, -1
+        bne t0, zero, loop
+        halt
+    """
+    tracer = trace_program(assemble(source))
+    assert tracer.squashed_count() == \
+        sum(1 for e in tracer.entries if e.squashed)
+    assert tracer.squashed_count() >= 1
+
+
+def test_render_window_slicing():
+    tracer = trace_program(assemble(SIMPLE))
+    full = tracer.render()
+    window = tracer.render(first=1, count=2)
+    assert len(window.splitlines()) == 3      # header + two entries
+    assert len(full.splitlines()) > len(window.splitlines())
+
+
+def test_max_entries_bounds_memory():
+    for cap in (1, 3, 100):
+        tracer = PipelineTracer(OoOCore(assemble(SIMPLE)), max_entries=cap)
+        tracer.run()
+        # The cap is checked per harvest, so one batch may overshoot it,
+        # but it can never grow past cap + one dispatch-width batch.
+        assert len(tracer.entries) <= cap + 4
