@@ -34,7 +34,7 @@ class SecureBaseline(ProtectionEngine):
     def __init__(self, model: AttackModel):
         super().__init__()
         self.model = model
-        self._obstacle = vp_obstacle(model)
+        self.vp_predicate = vp_obstacle(model)
 
     def may_compute_address(self, di: DynInst) -> bool:
         return di.reached_vp
@@ -48,4 +48,4 @@ class SecureBaseline(ProtectionEngine):
         return True
 
     def tick(self) -> None:
-        self.core.advance_vp(self._obstacle)
+        self.core.advance_vp(self.vp_predicate)

@@ -83,6 +83,15 @@ class ShadowTaint:
         if self.mode == ShadowMode.L1:
             self._lines.pop(line_address, None)
 
+    def lines(self) -> list[int]:
+        """Line addresses currently tracked (i.e. holding explicit taint).
+
+        In L1 mode every tracked line must be resident in the real L1D —
+        an eviction drops the shadow line — which is exactly the
+        ``shadow-residency`` invariant the repro.check sanitizer enforces.
+        """
+        return list(self._lines)
+
     def resident_untainted_bytes(self) -> int:
         """Diagnostic: how many bytes are currently tracked as untainted."""
         total = 0

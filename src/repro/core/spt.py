@@ -52,7 +52,7 @@ class SPTEngine(ProtectionEngine):
         self.backward = backward or ideal
         self.shadow_mode = shadow
         self.ideal = ideal
-        self._obstacle = vp_obstacle(model)
+        self.vp_predicate = vp_obstacle(model)
         self.name = self._config_name()
         self.untaint = UntaintStats()
         self.taint: list[bool] = []
@@ -174,6 +174,30 @@ class SPTEngine(ProtectionEngine):
         self._pending_set = {entry[0] for entry in live}
 
     # --------------------------------------------------------- memory hooks
+    def _shadow_mirror(self, address: int, size: int, tainted: bool) -> None:
+        """Write taint into the shadow, honoring L1 residency in L1 mode.
+
+        The fill and the shadow update are decoupled in the pipeline: a
+        store's retire-time access can stall on exhausted MSHRs (no fill
+        happens), and a load's line can be evicted by a younger access
+        between its fill and its data arrival.  In either case there is no
+        resident line to mirror — the shadow holds no tags of its own —
+        and writing one would break the shadow-residency invariant.  The
+        bytes simply keep their conservative default (absent = tainted).
+        """
+        if self.shadow_mode != ShadowMode.L1:
+            self.shadow.set_range(address, size, tainted=tainted)
+            return
+        line_bytes = self.shadow.line_bytes
+        hierarchy = self.core.hierarchy
+        while size > 0:
+            line = address - address % line_bytes
+            span = min(size, line_bytes - (address - line))
+            if hierarchy.l1_resident(line):
+                self.shadow.set_range(address, span, tainted=tainted)
+            address += span
+            size -= span
+
     def on_load_data(self, di: DynInst) -> None:
         if di.forwarded_from is not None:
             # Taint crosses a forwarding pair only via the STLPublic rules.
@@ -181,7 +205,8 @@ class SPTEngine(ProtectionEngine):
         if not di.t_dst:
             # Lemma 1: the load reached the VP while waiting for data; its
             # access is public, so the read bytes become public (rule 6.8-2).
-            self.shadow.clear_range(di.address, di.inst.info.mem_size)
+            self._shadow_mirror(di.address, di.inst.info.mem_size,
+                                tainted=False)
             self.shadow.loads_cleared += 1
             return
         if not self.shadow.range_tainted(di.address, di.inst.info.mem_size):
@@ -192,8 +217,8 @@ class SPTEngine(ProtectionEngine):
 
     def on_store_retire(self, di: DynInst) -> None:
         # Rule 6.8-1: the store data's taint overwrites the written bytes.
-        self.shadow.set_range(di.address, di.inst.info.mem_size,
-                              tainted=di.t_src2)
+        self._shadow_mirror(di.address, di.inst.info.mem_size,
+                            tainted=di.t_src2)
         if not di.t_src2:
             self.shadow.stores_cleared += 1
 
@@ -202,7 +227,7 @@ class SPTEngine(ProtectionEngine):
 
     # ------------------------------------------------------------------ tick
     def tick(self) -> None:
-        newly_vp = self.core.advance_vp(self._obstacle)
+        newly_vp = self.core.advance_vp(self.vp_predicate)
         for di in newly_vp:
             if di.is_transmitter or di.kind in (Kind.BRANCH, Kind.JUMP_REG):
                 self._declassify(di)

@@ -34,7 +34,7 @@ class STTEngine(ProtectionEngine):
         super().__init__()
         self.model = model
         self.name = "STT"
-        self._obstacle = vp_obstacle(model)
+        self.vp_predicate = vp_obstacle(model)
         # Physical register -> youngest root of taint (a load DynInst).
         self._root_of: dict[int, DynInst] = {}
 
@@ -90,4 +90,4 @@ class STTEngine(ProtectionEngine):
         return load.reached_vp and store.reached_vp
 
     def tick(self) -> None:
-        self.core.advance_vp(self._obstacle)
+        self.core.advance_vp(self.vp_predicate)

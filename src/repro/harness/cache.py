@@ -29,7 +29,9 @@ from repro.harness.runner import RunResult
 from repro.pipeline.params import MachineParams
 
 # Bump when the cached-blob layout changes (keys everything to a new slot).
-CACHE_VERSION = 3
+# v4: MachineParams grew check_level (sanitized and unsanitized runs must
+# never share a cache entry, even across versions where the field is new).
+CACHE_VERSION = 4
 
 _FINGERPRINT: Optional[str] = None
 

@@ -51,6 +51,12 @@ class MemoryHierarchy:
         self.l2 = Cache(self.params.l2_params)
         self.l3 = Cache(self.params.l3_params)
         self._mshr_busy_until: list[int] = []
+        # Notified with the line address of every L1 line dropped by an
+        # explicit flush (clflush-style harness helpers below).  Demand
+        # evictions flow through AccessResult.l1_evicted_line instead; the
+        # core wires this to the engine so the shadow L1 never tracks a
+        # non-resident line (the shadow-residency invariant).
+        self.on_l1_invalidate = None
 
     @property
     def line_bytes(self) -> int:
@@ -92,10 +98,17 @@ class MemoryHierarchy:
 
     def flush_l1_line(self, address: int) -> bool:
         """Invalidate one L1 line (used by attack harnesses, clflush-style)."""
-        return self.l1.invalidate(address)
+        flushed = self.l1.invalidate(address)
+        if flushed and self.on_l1_invalidate is not None:
+            self.on_l1_invalidate(self.l1.line_address(address))
+        return flushed
 
     def flush_all(self) -> None:
         """Invalidate every level (attack harness helper)."""
-        for cache in (self.l1, self.l2, self.l3):
+        for line in self.l1.resident_lines():
+            self.l1.invalidate(line)
+            if self.on_l1_invalidate is not None:
+                self.on_l1_invalidate(line)
+        for cache in (self.l2, self.l3):
             for line in cache.resident_lines():
                 cache.invalidate(line)

@@ -143,6 +143,18 @@ class OoOCore:
         self.dispatch_block = -1          # StallCause index or -1, per cycle
         self.last_squash_cycle = -(10 ** 9)
         self.engine.attach(self)
+        # Explicit flushes (attack-harness clflush) must reach the shadow L1
+        # like demand evictions do, or it tracks non-resident lines.
+        self.hierarchy.on_l1_invalidate = self.engine.on_l1_evict
+
+        # Lockstep invariant sanitizer (repro.check).  ``None`` when
+        # checking is off: every hook site below guards on ``is not None``,
+        # so an unchecked run pays one attribute test per event and nothing
+        # else.  Imported lazily to keep the hot path import-free.
+        self.checker = None
+        if self.params.check_level != "off":
+            from repro.check.sanitizer import Sanitizer
+            self.checker = Sanitizer(self, self.params.check_level)
 
     # ------------------------------------------------------------- metrics
     def legacy_stats(self) -> dict:
@@ -193,6 +205,8 @@ class OoOCore:
             stalls.set(cause.key, self.stall_counts[cause])
         stalls.set("total", sum(self.stall_counts))
         m.groups["engine"] = self.engine.metrics_tree()
+        if self.checker is not None:
+            m.groups["check"] = self.checker.metrics_tree()
         return m
 
     # ----------------------------------------------------------------- utils
@@ -228,6 +242,8 @@ class OoOCore:
             if self.cycle >= self.params.max_cycles:
                 raise SimulationError(
                     f"{self.program.name}: exceeded max_cycles")
+        if self.checker is not None:
+            self.checker.on_finish(self.halted)
         return SimResult(self, self.halted)
 
     def step(self) -> None:
@@ -248,6 +264,8 @@ class OoOCore:
             self.stall_counts[_RETIRING] += 1
         else:
             self.stall_counts[attribute_cycle(self)] += 1
+        if self.checker is not None:
+            self.checker.on_cycle()
 
     # ------------------------------------------------------------- writeback
     def _writeback(self) -> None:
@@ -277,6 +295,7 @@ class OoOCore:
         # going through two attribute lookups and a method call.
         ready = self.rename.ready
         may_compute_address = self.engine.may_compute_address
+        checker = self.checker
         delayed = 0
         for di in self.rs:
             if di.squashed:
@@ -301,6 +320,8 @@ class OoOCore:
                 di.engine_delayed = True
                 append(di)
                 continue
+            if checker is not None and di.is_transmitter:
+                checker.on_transmit(di)
             self._execute(di)
             issued += 1
         self._transmitters_delayed += delayed
@@ -401,6 +422,8 @@ class OoOCore:
             load.forwarded_from = forward_store
             load.fwding_st = forward_store.seq
             if self.engine.skip_cache_for_forwarding(load, forward_store):
+                if self.checker is not None:
+                    self.checker.on_forward_skip(load, forward_store)
                 load.load_value = self._truncate(forward_store.rs2_value,
                                                  load.info.mem_size)
                 load.access_level = "FWD"
@@ -408,6 +431,8 @@ class OoOCore:
                 self._schedule_load_completion(load, 1)
                 return
             self.n_loads_forwarded_cache += 1
+        if self.checker is not None:
+            self.checker.on_cache_access(load)
         access = self.hierarchy.access(load.address, self.cycle)
         if access.stalled:
             return    # MSHRs exhausted; retry next cycle
@@ -555,6 +580,8 @@ class OoOCore:
                 self.engine.on_load_data(di)
 
     def _apply_resolution(self, di: DynInst) -> None:
+        if self.checker is not None:
+            self.checker.on_resolve(di)
         di.resolution_applied = True
         di.resolution_delayed = False
         self.predictor.resolve(di.pc, di.inst, di.actual_taken,
@@ -594,6 +621,8 @@ class OoOCore:
         self.fetch_buffer.clear()
         self.fetch_wait_for = None
         self._vp_scan = min(self._vp_scan, len(self.rob))
+        if self.checker is not None:
+            self.checker.on_squash(di, squashed)
 
     def _redirect_fetch(self, target: int) -> None:
         self.fetch_pc = target
@@ -627,6 +656,8 @@ class OoOCore:
         return di.complete
 
     def _retire(self, di: DynInst) -> None:
+        if self.checker is not None:
+            self.checker.on_retire(di)
         if di.is_store:
             self.memory.store(di.address, di.rs2_value, di.info.mem_size)
             access = self.hierarchy.access(di.address, self.cycle, is_write=True)
@@ -684,6 +715,8 @@ class OoOCore:
             di.dispatch_cycle = self.cycle
             self.rename.rename(di)
             self.engine.on_rename(di)
+            if self.checker is not None:
+                self.checker.on_rename(di)
             self.rob.append(di)
             if di.kind in (Kind.HALT, Kind.NOP):
                 di.complete = True

@@ -30,6 +30,11 @@ class ProtectionEngine:
     name = "UnsafeBaseline"
     protects_speculative_data = False
     protects_nonspeculative_secrets = False
+    # The attack model's visibility-point obstacle predicate, or None for
+    # engines that never advance the VP frontier (UnsafeBaseline).  Public
+    # so external observers — the repro.check sanitizer in particular — can
+    # recompute the frontier independently of advance_vp.
+    vp_predicate = None
 
     def __init__(self) -> None:
         self.core: Optional["OoOCore"] = None

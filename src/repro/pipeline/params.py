@@ -38,6 +38,10 @@ class MachineParams:
     untaint_broadcast_width: int = 3
     # Simulation safety net.
     max_cycles: int = 5_000_000
+    # Lockstep invariant sanitizer (repro.check): "off" (no checking, zero
+    # overhead), "commit" (retire-time lockstep with the golden
+    # interpreter), or "full" (adds the per-cycle window scans).
+    check_level: str = "off"
 
     def validate(self) -> None:
         if self.rob_entries <= 0 or self.rs_entries <= 0:
@@ -46,6 +50,10 @@ class MachineParams:
             raise ValueError("too few physical registers for the ROB size")
         if self.untaint_broadcast_width < 1:
             raise ValueError("untaint broadcast width must be >= 1")
+        if self.check_level not in ("off", "commit", "full"):
+            raise ValueError(
+                f"check_level must be off, commit, or full "
+                f"(got {self.check_level!r})")
 
 
 def table1_text() -> str:

@@ -135,3 +135,28 @@ def test_store_survives_unwritable_dir(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", "/proc/definitely-not-writable")
     results = run_many([SPEC], jobs=1, use_cache=True)
     assert results[0].cycles > 0    # simulation succeeded, store was dropped
+
+
+def test_checked_and_unchecked_runs_never_share_a_cache_entry(monkeypatch):
+    """check_level is part of the cache key at every level."""
+    checked = RunSpec(SPEC.workload, SPEC.config, AttackModel.FUTURISTIC,
+                      max_instructions=BUDGET,
+                      params=MachineParams(check_level="full"))
+    commit = RunSpec(SPEC.workload, SPEC.config, AttackModel.FUTURISTIC,
+                     max_instructions=BUDGET,
+                     params=MachineParams(check_level="commit"))
+    assert checked.key() != SPEC.key()
+    assert commit.key() != SPEC.key()
+    assert commit.key() != checked.key()
+
+    calls = counting_run_one(monkeypatch)
+    unchecked_result = run_many([SPEC], jobs=1)[0]
+    checked_result = run_many([checked], jobs=1)[0]
+    assert len(calls) == 2      # the checked run missed the unchecked entry
+    assert "check" in checked_result.metrics["groups"]
+    assert "check" not in unchecked_result.metrics["groups"]
+    # And the cached checked blob round-trips its check metrics.
+    cached = run_many([checked], jobs=1)[0]
+    assert len(calls) == 2
+    assert cached.metrics["groups"]["check"] \
+        == checked_result.metrics["groups"]["check"]

@@ -2,7 +2,15 @@
 
 This is the master correctness property of the whole substrate: protection
 engines may change *timing* only, never architectural results.
+
+The checked-sweep tests additionally run under ``check_level="full"``, so
+every random program is simultaneously validated by the differential
+harness (final state) and by the repro.check lockstep sanitizer (every
+cycle).  A failing seed is shrunk over the generator's knobs and the
+minimized reproducer is written into ``examples/shrunk/``.
 """
+
+import pathlib
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -10,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro.core.attack_model import AttackModel
 from repro.harness.configs import CONFIGURATIONS, make_engine
+from repro.pipeline.params import MachineParams
 from repro.workloads.random_programs import RandomProgramConfig, random_program
 
 from tests.conftest import BOTH_MODELS, assert_matches_interpreter
@@ -70,3 +79,124 @@ def test_branch_heavy_programs():
                                  loop_probability=0.3)
     for seed in range(8):
         assert_matches_interpreter(random_program(5000 + seed, config))
+
+
+# ------------------------------------------------------- checked generator sweep
+# One representative per protection family; every run is double-checked by
+# the lockstep sanitizer.
+CHECKED_SWEEP_CONFIGS = ("UnsafeBaseline", "SecureBaseline", "STT",
+                         "SPT{Bwd,ShadowL1}")
+SHRUNK_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples" / "shrunk"
+
+
+def _run_checked(seed, config_name, gen_config=None,
+                 model=AttackModel.FUTURISTIC):
+    program = random_program(seed, gen_config)
+    engine = make_engine(config_name, model)
+    assert_matches_interpreter(program, engine=engine,
+                               params=MachineParams(check_level="full"))
+
+
+def _render_case(seed, config_name, gen_config, error):
+    program = random_program(seed, gen_config)
+    lines = [
+        "# Shrunk failing seed for the checked generator sweep.",
+        f"# seed={seed} config={config_name}",
+        f"# blocks={gen_config.blocks} "
+        f"loop_p={gen_config.loop_probability} "
+        f"branch_p={gen_config.branch_probability} "
+        f"call_p={gen_config.call_probability} "
+        f"mem_p={gen_config.mem_probability}",
+        f"# error: {type(error).__name__}: {error}",
+        "#",
+    ]
+    lines.extend(f"{pc:4d}: {inst}" for pc, inst in enumerate(program))
+    return "\n".join(lines) + "\n"
+
+
+def shrink_failing_seed(seed, config_name, run=_run_checked,
+                        out_dir=SHRUNK_DIR):
+    """Hypothesis-style shrink over the generator knobs.
+
+    Greedily minimizes ``blocks``, then zeroes each structural probability,
+    re-running after every candidate step and keeping only changes that
+    still fail.  The minimized reproducer (knobs + instruction listing +
+    error) is written under ``out_dir`` and the path returned.
+    """
+    def fails(gen_config):
+        try:
+            run(seed, config_name, gen_config)
+        except Exception as error:    # noqa: BLE001 - any failure counts
+            return error
+        return None
+
+    best = RandomProgramConfig()
+    error = fails(best)
+    if error is None:
+        return None
+    blocks = best.blocks
+    while blocks > 1:
+        candidate = RandomProgramConfig(
+            blocks=blocks - 1, loop_probability=best.loop_probability,
+            branch_probability=best.branch_probability,
+            call_probability=best.call_probability,
+            mem_probability=best.mem_probability)
+        candidate_error = fails(candidate)
+        if candidate_error is None:
+            break
+        best, error, blocks = candidate, candidate_error, blocks - 1
+    for knob in ("loop_probability", "call_probability",
+                 "branch_probability", "mem_probability"):
+        candidate = RandomProgramConfig(
+            blocks=best.blocks, loop_probability=best.loop_probability,
+            branch_probability=best.branch_probability,
+            call_probability=best.call_probability,
+            mem_probability=best.mem_probability)
+        setattr(candidate, knob, 0.0)
+        candidate_error = fails(candidate)
+        if candidate_error is not None:
+            best, error = candidate, candidate_error
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe_config = "".join(c if c.isalnum() else "_" for c in config_name)
+    path = out_dir / f"checked_sweep_{safe_config}_seed{seed}.txt"
+    path.write_text(_render_case(seed, config_name, best, error))
+    return path
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("config", CHECKED_SWEEP_CONFIGS)
+def test_checked_generator_sweep(seed, config):
+    """N random programs per protection family under check_level=full."""
+    try:
+        _run_checked(6000 + seed, config)
+    except Exception:
+        path = shrink_failing_seed(6000 + seed, config)
+        pytest.fail(f"seed {6000 + seed} failed under {config} at "
+                    f"check_level=full; shrunk reproducer: {path}")
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_hypothesis_checked_spt(seed):
+    """Sanitized SPT runs over hypothesis-chosen seeds (shrinking free)."""
+    _run_checked(seed, "SPT{Bwd,ShadowL1}")
+
+
+def test_shrinker_minimizes_and_records(tmp_path):
+    """The knob shrinker converges on a small config and writes the case."""
+    def fake_run(seed, config_name, gen_config=None, model=None):
+        gen_config = gen_config or RandomProgramConfig()
+        # An artificial bug that any program with >= 2 blocks triggers.
+        if gen_config.blocks >= 2:
+            raise AssertionError("seeded failure for the shrinker")
+
+    path = shrink_failing_seed(42, "STT", run=fake_run, out_dir=tmp_path)
+    assert path is not None and path.exists()
+    text = path.read_text()
+    assert "seed=42" in text and "blocks=2" in text
+    assert "seeded failure for the shrinker" in text
+    # Healthy runs shrink to nothing and record nothing.
+    assert shrink_failing_seed(43, "STT", run=lambda *a, **k: None,
+                               out_dir=tmp_path) is None
