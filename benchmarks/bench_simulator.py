@@ -9,8 +9,10 @@ import pytest
 
 from repro.core.attack_model import AttackModel
 from repro.harness.configs import make_engine
+from repro.harness.runner import build_core
 from repro.isa.interpreter import run_program
 from repro.pipeline import OoOCore
+from repro.pipeline.params import MachineParams
 from repro.workloads.registry import get
 
 WORKLOAD = "xz"
@@ -22,6 +24,14 @@ def simulate(config: str) -> int:
     engine = make_engine(config, AttackModel.FUTURISTIC)
     sim = OoOCore(program, engine=engine).run(max_instructions=BUDGET)
     return sim.cycles
+
+
+def simulate_backend(config: str, backend: str) -> int:
+    program = get(WORKLOAD).program(scale=1)
+    engine = make_engine(config, AttackModel.FUTURISTIC)
+    core = build_core(program, engine=engine,
+                      params=MachineParams(backend=backend))
+    return core.run(max_instructions=BUDGET).cycles
 
 
 def test_interpreter_throughput(benchmark):
@@ -39,3 +49,14 @@ def test_core_throughput(benchmark, config):
     cycles = benchmark.pedantic(simulate, args=(config,),
                                 rounds=2, iterations=1)
     assert cycles > 0
+
+
+@pytest.mark.parametrize("backend", ["reference", "vector"])
+def test_spt_backend_throughput(benchmark, backend):
+    # The same protected cell under both execution backends; the cycle
+    # counts must agree exactly (bit-identity) while the vector backend's
+    # wall-clock should sit well below the reference's.
+    cycles = benchmark.pedantic(simulate_backend,
+                                args=("SPT{Bwd,ShadowL1}", backend),
+                                rounds=2, iterations=1)
+    assert cycles == simulate("SPT{Bwd,ShadowL1}")

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--level", default="full",
                         choices=["commit", "full"],
                         help="check level for the sweep (default full)")
+    parser.add_argument("--backend", default="reference",
+                        choices=["reference", "vector"],
+                        help="simulation backend to check (default "
+                             "reference); vector runs the fast path in "
+                             "lockstep with the golden interpreter")
     parser.add_argument("--budget", type=int, default=None,
                         help="per-run retired-instruction budget "
                              f"(default {FULL_BUDGET}, "
@@ -146,7 +151,7 @@ def main(argv: Optional[list] = None) -> int:
     models = list(BOTH_MODELS) if args.models == "both" \
         else [AttackModel(args.models)]
 
-    params = MachineParams(check_level=args.level)
+    params = MachineParams(check_level=args.level, backend=args.backend)
     specs = [RunSpec(workload, config, model, max_instructions=budget,
                      params=params)
              for workload in workloads

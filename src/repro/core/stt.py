@@ -91,3 +91,20 @@ class STTEngine(ProtectionEngine):
 
     def tick(self) -> None:
         self.core.advance_vp(self.vp_predicate)
+
+    # ------------------------------------------------- quiescent fast-forward
+    # The gating hooks above bump their delayed-check counters once per
+    # consult, including on quiescent cycles; replay the per-cycle delta
+    # over fast-forwarded stretches so the totals stay bit-identical.
+    def quiet_state(self) -> tuple:
+        counters = self.metrics.scalars
+        return (counters.get("delayed_transmitter_checks", 0),
+                counters.get("delayed_resolution_checks", 0))
+
+    def on_quiet_cycles(self, skipped: int, before: tuple) -> None:
+        after = self.quiet_state()
+        for key, b, a in zip(("delayed_transmitter_checks",
+                              "delayed_resolution_checks"), before, after):
+            delta = a - b
+            if delta:
+                self.metrics.add(key, delta * skipped)

@@ -1,0 +1,31 @@
+"""Optional numpy dependency gate for the vector backend.
+
+The reference backend must keep working on an interpreter with no numpy
+installed, so the import is attempted once here and every fastpath entry
+point calls :func:`require_numpy` before touching it.  ``np`` is ``None``
+when numpy is missing; tests monkeypatch it to simulate that.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:          # pragma: no cover - exercised via monkeypatch
+    np = None
+
+NUMPY_FLOOR = "1.22"
+
+
+def have_numpy() -> bool:
+    return np is not None
+
+
+def require_numpy():
+    """Return the numpy module or raise a actionable ImportError."""
+    if np is None:
+        raise ImportError(
+            "backend='vector' requires numpy (>= {floor}), which is not "
+            "installed.  Install it (pip install 'numpy>={floor}') or use "
+            "backend='reference', which has no third-party dependencies."
+            .format(floor=NUMPY_FLOOR))
+    return np

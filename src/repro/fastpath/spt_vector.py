@@ -1,0 +1,283 @@
+"""Struct-of-arrays SPT engine for the vector backend.
+
+:class:`VectorSPTEngine` is a drop-in :class:`~repro.core.spt.SPTEngine`
+producing bit-identical results, with the per-cycle work restructured
+around a fixed window of *slots* (one per ROB entry, allocated circularly
+in program order):
+
+* the per-entry taint bits (``t_src1``/``t_src2``/``t_dst``) are mirrored
+  into packed Python-int bitmasks indexed by slot, so the Section 6.6
+  forward/backward local rules evaluate over the whole window in a
+  handful of bitwise operations instead of a per-DynInst Python loop;
+* the static rule class of every instruction (pure, invertible-monadic,
+  invertible-ALU) comes from the decode-time tables of
+  :mod:`repro.fastpath.tables`;
+* untaint broadcasts clear matching operand bits by scanning flat numpy
+  operand-index vectors instead of iterating the window;
+* the STL rules only visit a watch list of forwarded loads instead of the
+  whole LSQ.
+
+Every mutation of taint state also bumps the core's activity counter, so
+the vector core can prove cycles quiescent and fast-forward them (see
+:mod:`repro.fastpath.vector_core`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.core.events import UntaintKind
+from repro.core.shadow_l1 import ShadowMode
+from repro.core.spt import SPTEngine
+from repro.fastpath.deps import require_numpy
+from repro.fastpath.tables import (F_INV_ALU, F_INV_MONO, F_PURE,
+                                   lower_program)
+from repro.pipeline.dyninst import DynInst
+
+
+class VectorSPTEngine(SPTEngine):
+    """SPT with packed-bitmask window state (bit-identical to the parent)."""
+
+    def __init__(self, model: AttackModel, backward: bool = True,
+                 shadow: ShadowMode = ShadowMode.L1, ideal: bool = False):
+        super().__init__(model, backward=backward, shadow=shadow, ideal=ideal)
+        self._np = require_numpy()
+        self._cap = 0
+        self._head = 0
+        self._tail = 0
+        self._slot_di: list[Optional[DynInst]] = []
+        # Packed per-slot bitmasks (Python ints as bitsets over slots).
+        self._t_src1_m = 0
+        self._t_src2_m = 0
+        self._t_dst_m = 0
+        self._pure_m = 0
+        self._inv_mono_m = 0
+        self._inv_alu_m = 0
+        # Flat per-slot operand-register vectors (-1 on free slots).
+        self._prs1_v = None
+        self._prs2_v = None
+        self._prd_v = None
+        self._pc_flags: list[int] = []
+        # Forwarded loads currently subject to the STL rules (Section 6.7).
+        self._stl_watch: list[DynInst] = []
+        self._stl_seen: set[int] = set()
+
+    def attach(self, core) -> None:
+        super().attach(core)
+        np = self._np
+        self._cap = core.params.rob_entries
+        self._head = 0
+        self._tail = 0
+        self._slot_di = [None] * self._cap
+        self._t_src1_m = self._t_src2_m = self._t_dst_m = 0
+        self._pure_m = self._inv_mono_m = self._inv_alu_m = 0
+        self._prs1_v = np.full(self._cap, -1, dtype=np.int16)
+        self._prs2_v = np.full(self._cap, -1, dtype=np.int16)
+        self._prd_v = np.full(self._cap, -1, dtype=np.int16)
+        self._pc_flags = lower_program(core.program).flags
+        self._stl_watch = []
+        self._stl_seen = set()
+
+    # ------------------------------------------------------- slot lifecycle
+    def on_rename(self, di: DynInst) -> None:
+        super().on_rename(di)
+        slot = self._tail
+        self._tail = slot + 1 if slot + 1 < self._cap else 0
+        di.fp_slot = slot
+        self._slot_di[slot] = di
+        bit = 1 << slot
+        flags = self._pc_flags[di.pc]
+        if flags & F_PURE:
+            self._pure_m |= bit
+        if flags & F_INV_MONO:
+            self._inv_mono_m |= bit
+        elif flags & F_INV_ALU:
+            self._inv_alu_m |= bit
+        if di.t_src1:
+            self._t_src1_m |= bit
+        if di.t_src2:
+            self._t_src2_m |= bit
+        if di.t_dst:
+            self._t_dst_m |= bit
+        self._prs1_v[slot] = di.prs1
+        self._prs2_v[slot] = di.prs2
+        self._prd_v[slot] = di.prd
+
+    def _free_slot(self, di: DynInst) -> None:
+        slot = di.fp_slot
+        di.fp_slot = -1
+        nbit = ~(1 << slot)
+        self._t_src1_m &= nbit
+        self._t_src2_m &= nbit
+        self._t_dst_m &= nbit
+        self._pure_m &= nbit
+        self._inv_mono_m &= nbit
+        self._inv_alu_m &= nbit
+        self._slot_di[slot] = None
+        self._prs1_v[slot] = -1
+        self._prs2_v[slot] = -1
+        self._prd_v[slot] = -1
+
+    def on_retire(self, di: DynInst) -> None:
+        # Parent declassification runs first, while the slot is still live.
+        super().on_retire(di)
+        slot = di.fp_slot
+        self._free_slot(di)
+        self._head = slot + 1 if slot + 1 < self._cap else 0
+
+    def on_squash(self, squashed: list) -> None:
+        super().on_squash(squashed)
+        for di in squashed:            # youngest first: the tail retracts
+            self._tail = di.fp_slot
+            self._free_slot(di)
+
+    # ------------------------------------------------------ untaint requests
+    def _request(self, di: Optional[DynInst], slot: str, preg: int,
+                 cause: UntaintKind) -> None:
+        # Mirror the parent's per-entry bit clears into the packed masks
+        # (the parent's early-outs are replicated so a no-op request leaves
+        # the masks untouched), and flag the cycle as active.
+        if di is not None:
+            fp = di.fp_slot
+            if slot == "src1":
+                if not di.t_src1:
+                    return
+                if fp >= 0:
+                    self._t_src1_m &= ~(1 << fp)
+            elif slot == "src2":
+                if not di.t_src2:
+                    return
+                if fp >= 0:
+                    self._t_src2_m &= ~(1 << fp)
+            else:
+                if not di.t_dst:
+                    return
+                if fp >= 0:
+                    self._t_dst_m &= ~(1 << fp)
+        self.core._activity += 1
+        super()._request(di, slot, preg, cause)
+
+    # ---------------------------------------------------------------- rules
+    def _local_rules(self) -> None:
+        # Whole-window evaluation of the Section 6.6 rules in O(1) bitops.
+        # Forward: pure entry, tainted output, both sources untainted.
+        fwd = (self._t_dst_m & self._pure_m
+               & ~self._t_src1_m & ~self._t_src2_m)
+        # Backward: output untainted (counting a forward fire this pass,
+        # matching the reference's within-entry dst-then-src ordering),
+        # and the single remaining tainted source is inferable.
+        if self.backward:
+            t_dst_eff = self._t_dst_m & ~fwd
+            bwd = ~t_dst_eff & (
+                (self._inv_mono_m & self._t_src1_m)
+                | (self._inv_alu_m & (self._t_src1_m ^ self._t_src2_m)))
+        else:
+            bwd = 0
+        fire = fwd | bwd
+        if not fire:
+            return
+        # Process firing slots in window (program) order: the broadcast
+        # queue is FIFO, so enqueue order is architecturally visible.
+        slots = []
+        mask = fire
+        while mask:
+            low = mask & -mask
+            slots.append(low.bit_length() - 1)
+            mask ^= low
+        head, cap = self._head, self._cap
+        if len(slots) > 1:
+            slots.sort(key=lambda s: s - head if s >= head else s + cap - head)
+        slot_di = self._slot_di
+        for s in slots:
+            di = slot_di[s]
+            bit = 1 << s
+            if fwd & bit:
+                self._request(di, "dst", di.prd, UntaintKind.FORWARD)
+            else:
+                if self._inv_mono_m & bit or di.t_src1:
+                    self._request(di, "src1", di.prs1, UntaintKind.BACKWARD)
+                else:
+                    self._request(di, "src2", di.prs2, UntaintKind.BACKWARD)
+
+    def skip_cache_for_forwarding(self, load: DynInst, store: DynInst) -> bool:
+        # First sighting of a forwarded load: put it on the STL watch list.
+        if load.fwding_st >= 0 and load.seq not in self._stl_seen:
+            self._stl_seen.add(load.seq)
+            self._stl_watch.append(load)
+        return super().skip_cache_for_forwarding(load, store)
+
+    def _stl_rules(self) -> None:
+        # Same per-load body as the parent, but only over forwarded loads.
+        watch = self._stl_watch
+        if not watch:
+            return
+        if any(ld.retired or ld.squashed for ld in watch):
+            watch = [ld for ld in watch if not ld.retired and not ld.squashed]
+            self._stl_watch = watch
+            self._stl_seen = {ld.seq for ld in watch}
+            if not watch:
+                return
+        if len(watch) > 1:
+            watch.sort(key=lambda d: d.seq)    # LSQ (program) order
+        for load in watch:
+            store = load.forwarded_from
+            if not load.stl_public:
+                if not self._stl_public(load, store):
+                    continue
+                load.stl_public = True
+            if not store.t_src2 and load.t_dst:
+                self._request(load, "dst", load.prd, UntaintKind.STL_FORWARD)
+            elif self.backward and not load.t_dst and store.t_src2:
+                target = store if not store.retired else None
+                self._request(target, "src2", store.prs2,
+                              UntaintKind.STL_BACKWARD)
+                store.t_src2 = False
+                if store.fp_slot >= 0:
+                    self._t_src2_m &= ~(1 << store.fp_slot)
+                self.core._activity += 1
+
+    # -------------------------------------------------------------- broadcast
+    def _broadcast(self, limit: Optional[int]) -> int:
+        if self._pending:
+            self.core._activity += 1
+        return super()._broadcast(limit)
+
+    def _clear_entry_bits(self, preg: int) -> None:
+        # The reference scans the whole window per broadcast register; the
+        # operand-index vectors reduce that to one vectorised compare.
+        hits = self._np.flatnonzero((self._prs1_v == preg)
+                                    | (self._prs2_v == preg)
+                                    | (self._prd_v == preg))
+        if hits.size == 0:
+            return
+        slot_di = self._slot_di
+        for s in hits.tolist():
+            di = slot_di[s]
+            nbit = ~(1 << s)
+            if di.prs1 == preg:
+                di.t_src1 = False
+                di.pend_src1 = False
+                self._t_src1_m &= nbit
+            if di.prs2 == preg:
+                di.t_src2 = False
+                di.pend_src2 = False
+                self._t_src2_m &= nbit
+            if di.prd == preg:
+                di.t_dst = False
+                di.pend_dst = False
+                self._t_dst_m &= nbit
+
+
+def vectorize_engine(engine):
+    """Upgrade a reference engine to its vector twin where one exists.
+
+    Engines without a vector implementation (baselines, STT) run unchanged
+    under the vector core — they still benefit from quiescent-cycle
+    fast-forwarding.  Exact-type match on purpose: an unknown SPTEngine
+    subclass must not be silently replaced.
+    """
+    if type(engine) is SPTEngine:
+        return VectorSPTEngine(engine.model, backward=engine.backward,
+                               shadow=engine.shadow_mode, ideal=engine.ideal)
+    return engine

@@ -1,0 +1,100 @@
+"""Decode-time lowering of per-instruction metadata to flat flag tables.
+
+The reference engines re-derive instruction classes (pure, invertible,
+transmitter, leaked operands, ...) from :mod:`repro.core.taint_algebra`
+and :class:`~repro.isa.opcodes.OpInfo` on every consult.  The vector
+backend instead lowers every static instruction of a program **once** to
+a packed flag word, so the per-cycle rule evaluation indexes a flat
+array instead of chasing Python attributes.
+
+Every flag is *defined* in terms of the reference predicates (the tests
+compare the table against the functions over all opcodes); the lowering
+must never restate a rule independently.
+"""
+
+from __future__ import annotations
+
+from repro.core.taint_algebra import (PC_INFERABLE_KINDS, PURE_KINDS,
+                                      leaked_operands)
+from repro.isa.instructions import Instruction, Program
+from repro.isa.opcodes import Kind, OpInfo
+
+from repro.fastpath.deps import np
+
+# Flag bits of one lowered instruction word.
+F_PURE = 1 << 0          # kind in PURE_KINDS: forward rule applies
+F_INV_MONO = 1 << 1      # invertible MOVE/ALU_IMM: backward -> src1
+F_INV_ALU = 1 << 2       # invertible ALU: backward -> the one tainted src
+F_READS_RS2 = 1 << 3
+F_LOAD = 1 << 4
+F_STORE = 1 << 5
+F_TRANSMITTER = 1 << 6
+F_BRANCH = 1 << 7
+F_JUMP_REG = 1 << 8
+F_PC_INFERABLE = 1 << 9  # output public by Property 1 (Section 6.5)
+F_LEAK_SRC1 = 1 << 10    # declassification leaks src1 at the VP
+F_LEAK_SRC2 = 1 << 11    # declassification leaks src2 at the VP
+
+
+def lower_instruction(inst: Instruction) -> int:
+    """The packed flag word for one static instruction."""
+    info: OpInfo = inst.info
+    kind = info.kind
+    flags = 0
+    if kind in PURE_KINDS:
+        flags |= F_PURE
+    if info.invertible:
+        if kind in (Kind.MOVE, Kind.ALU_IMM):
+            flags |= F_INV_MONO
+        elif kind == Kind.ALU:
+            flags |= F_INV_ALU
+    if info.reads_rs2:
+        flags |= F_READS_RS2
+    if kind == Kind.LOAD:
+        flags |= F_LOAD
+    if kind == Kind.STORE:
+        flags |= F_STORE
+    if info.is_transmitter:
+        flags |= F_TRANSMITTER
+    if kind == Kind.BRANCH:
+        flags |= F_BRANCH
+    if kind == Kind.JUMP_REG:
+        flags |= F_JUMP_REG
+    if kind in PC_INFERABLE_KINDS:
+        flags |= F_PC_INFERABLE
+    leaked = leaked_operands(inst)
+    if "src1" in leaked:
+        flags |= F_LEAK_SRC1
+    if "src2" in leaked:
+        flags |= F_LEAK_SRC2
+    return flags
+
+
+class ProgramTable:
+    """Flat per-PC metadata for one program.
+
+    ``flags`` is a plain Python list (scalar indexing by PC in the hot
+    loop beats a numpy element read); ``flags_v``/``latency_v``/
+    ``mem_size_v`` are the numpy views used by whole-array operations.
+    """
+
+    __slots__ = ("flags", "flags_v", "latency_v", "mem_size_v")
+
+    def __init__(self, program: Program):
+        self.flags = [lower_instruction(inst) for inst in program]
+        if np is not None:
+            self.flags_v = np.asarray(self.flags, dtype=np.uint32)
+            self.latency_v = np.asarray([inst.info.latency
+                                         for inst in program],
+                                        dtype=np.int32)
+            self.mem_size_v = np.asarray([inst.info.mem_size
+                                          for inst in program],
+                                         dtype=np.int32)
+        else:                      # pragma: no cover - no-numpy fallback
+            self.flags_v = None
+            self.latency_v = None
+            self.mem_size_v = None
+
+
+def lower_program(program: Program) -> ProgramTable:
+    return ProgramTable(program)

@@ -1,0 +1,156 @@
+"""Vector-backend core: quiescent-cycle fast-forwarding over the OoO model.
+
+:class:`VectorCore` is an :class:`~repro.pipeline.core.OoOCore` whose run
+loop proves cycles quiescent and jumps over them.  The core's activity
+counter is bumped at every true state mutation; a :meth:`step` that
+leaves it unchanged demonstrated that *nothing* in the machine moved, so
+every following cycle is an identical no-op until the next scheduled
+event (a completion bucket, the fetch-redirect resume, the fetch
+buffer's frontend delay, or an MSHR expiry).  Time then jumps straight
+to the cycle before that event, with the skipped cycles accounted for in
+batch:
+
+* stall-cause buckets get ``skipped`` cycles of the same cause the
+  detection cycle had (split at the squash-recovery boundary, the single
+  cycle-dependent attribution);
+* the per-cycle delayed-transmitter/-resolution counters get the
+  detection cycle's delta replayed ``skipped`` times;
+* engines replay their own per-cycle counters via
+  :meth:`~repro.pipeline.engine_api.ProtectionEngine.on_quiet_cycles`.
+
+Fast-forwarding is disabled under ``check_level != "off"`` — the
+lockstep sanitizer wants to see every cycle — which is exactly the mode
+CI uses to pin the vector backend against the golden interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fastpath.deps import require_numpy
+from repro.fastpath.spt_vector import vectorize_engine
+from repro.obs.stall import StallCause, attribute_cycle
+from repro.pipeline.core import OoOCore, SimResult, SimulationError
+
+_SQUASH_RECOVERY = int(StallCause.SQUASH_RECOVERY)
+_FETCH_STARVED = int(StallCause.FETCH_STARVED)
+
+
+class VectorCore(OoOCore):
+    """OoO core with the struct-of-arrays fast path (backend="vector")."""
+
+    def __init__(self, program, engine=None, params=None, **kwargs):
+        require_numpy()
+        if engine is not None:
+            engine = vectorize_engine(engine)
+        super().__init__(program, engine=engine, params=params, **kwargs)
+
+    # ------------------------------------------------------------------ run
+    def run(self, max_instructions: int = 1_000_000) -> SimResult:
+        """Reference run loop plus quiescent-cycle fast-forwarding."""
+        budget = max_instructions
+        last_progress_cycle = 0
+        last_retired = 0
+        quiet_before: tuple = ()
+        trans_before = res_before = 0
+        # Under the lockstep sanitizer every cycle must be stepped.
+        jumping = self.checker is None
+        engine = self.engine
+        while not self.halted and self.retired_count < budget:
+            if jumping:
+                activity = self._activity
+                quiet_before = engine.quiet_state()
+                trans_before = self._transmitters_delayed
+                res_before = self._resolutions_delayed
+            self.step()
+            if self.retired_count != last_retired:
+                last_retired = self.retired_count
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle > 100_000:
+                raise SimulationError(
+                    f"{self.engine.name}/{self.program.name}: no retirement "
+                    f"for 100k cycles at cycle {self.cycle} "
+                    f"(head={self.head_inst()!r})")
+            if self.cycle >= self.params.max_cycles:
+                raise SimulationError(
+                    f"{self.program.name}: exceeded max_cycles")
+            if (jumping and not self.halted
+                    and self._activity == activity):
+                self._quiet_jump(last_progress_cycle, quiet_before,
+                                 trans_before, res_before)
+                if self.cycle >= self.params.max_cycles:
+                    raise SimulationError(
+                        f"{self.program.name}: exceeded max_cycles")
+        if self.checker is not None:
+            self.checker.on_finish(self.halted)
+        return SimResult(self, self.halted)
+
+    # ---------------------------------------------------------- fast-forward
+    def _next_event_cycle(self) -> Optional[int]:
+        """First future cycle at which the quiescent machine can move."""
+        candidates = []
+        if self._completion_buckets:
+            candidates.append(min(self._completion_buckets))
+        if (not self.fetch_halted and self.fetch_wait_for is None
+                and self.cycle < self.fetch_resume_cycle
+                and len(self.fetch_buffer) < 4 * self.params.fetch_width):
+            candidates.append(self.fetch_resume_cycle)
+        if self.fetch_buffer:
+            ready = self.fetch_buffer[0][0]
+            if ready > self.cycle:
+                candidates.append(ready)
+        # A load stalled on exhausted MSHRs unblocks at the expiry that
+        # first brings the busy count under the pool size.
+        for di in self.lsq:
+            if (di.is_load and di.addr_ready and not di.mem_issued
+                    and not di.mem_complete and not di.squashed):
+                busy = sorted(t for t in self.hierarchy._mshr_busy_until
+                              if t > self.cycle)
+                mshrs = self.hierarchy.params.mshrs
+                if len(busy) >= mshrs:
+                    candidates.append(busy[len(busy) - mshrs])
+                break
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _quiet_jump(self, last_progress_cycle: int, quiet_before: tuple,
+                    trans_before: int, res_before: int) -> None:
+        """Jump time to just before the next event, accounting in batch."""
+        cycle = self.cycle
+        # Never jump past the deadlock detector or the cycle cap: landing
+        # exactly on them reproduces the reference's raises byte-for-byte.
+        horizon = last_progress_cycle + 100_000
+        if self.params.max_cycles < horizon:
+            horizon = self.params.max_cycles
+        event = self._next_event_cycle()
+        if event is None:
+            land = horizon
+        else:
+            land = min(event - 1, horizon)
+        skipped = land - cycle
+        if skipped <= 0:
+            return
+        # Stall attribution: the skipped cycles repeat the detection
+        # cycle's cause; only the empty-window case is cycle-dependent
+        # (squash-recovery turns into fetch-starved at the refill boundary).
+        if self.rob_head >= len(self.rob):
+            recovery_end = (self.last_squash_cycle
+                            + self.params.redirect_penalty
+                            + self.params.frontend_delay)
+            n_recovery = min(land, recovery_end) - cycle
+            if n_recovery < 0:
+                n_recovery = 0
+            self.stall_counts[_SQUASH_RECOVERY] += n_recovery
+            self.stall_counts[_FETCH_STARVED] += skipped - n_recovery
+        else:
+            self.stall_counts[int(attribute_cycle(self))] += skipped
+        # Per-cycle monotone counters: replay the detection cycle's delta.
+        delta = self._transmitters_delayed - trans_before
+        if delta:
+            self._transmitters_delayed += delta * skipped
+        delta = self._resolutions_delayed - res_before
+        if delta:
+            self._resolutions_delayed += delta * skipped
+        self.engine.on_quiet_cycles(skipped, quiet_before)
+        self.cycle = land

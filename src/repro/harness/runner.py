@@ -40,6 +40,23 @@ def bench_scale(default: int = 1) -> int:
     return _env_int("REPRO_BENCH_SCALE", default)
 
 
+def build_core(program, engine=None, params: Optional[MachineParams] = None,
+               **kwargs) -> OoOCore:
+    """Construct the core for ``params.backend``.
+
+    The fastpath package (and its numpy dependency) is only imported when
+    the vector backend is actually requested, so the reference backend
+    works on a bare interpreter.  The vector core may wrap ``engine`` in
+    its struct-of-arrays twin — callers must use ``core.engine``, not the
+    engine they passed in.
+    """
+    params = params or MachineParams()
+    if params.backend == "vector":
+        from repro.fastpath.vector_core import VectorCore
+        return VectorCore(program, engine=engine, params=params, **kwargs)
+    return OoOCore(program, engine=engine, params=params, **kwargs)
+
+
 @dataclass
 class RunResult:
     """Everything the experiment modules need from one simulation."""
@@ -79,7 +96,8 @@ def run_one(workload: str, config: str,
     """
     program = get_workload(workload).program(scale)
     engine = make_engine(config, model)
-    core = OoOCore(program, engine=engine, params=params or MachineParams())
+    core = build_core(program, engine=engine, params=params or MachineParams())
+    engine = core.engine    # the vector backend may have wrapped it
     sim = core.run(max_instructions=max_instructions or 10_000_000)
     untaint_by_kind: dict = {}
     untaints_per_cycle: dict = {}

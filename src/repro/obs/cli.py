@@ -88,6 +88,9 @@ def _build_bench_parser() -> argparse.ArgumentParser:
                          help="allowed absolute drift per headline overhead")
     compare.add_argument("--stall-tolerance", type=float, default=1e-6,
                          help="allowed absolute drift per stall fraction")
+    compare.add_argument("--min-vector-speedup", type=float, default=None,
+                         help="fail unless the current snapshot's vector/"
+                              "reference speedup meets this floor")
 
     show = sub.add_parser("show", help="summarise a snapshot")
     show.add_argument("snapshot", help="BENCH_*.json to render")
@@ -116,7 +119,8 @@ def bench_main(argv: Optional[list] = None) -> int:
             baseline, current,
             throughput_tolerance=args.throughput_tolerance,
             overhead_tolerance=args.overhead_tolerance,
-            stall_tolerance=args.stall_tolerance)
+            stall_tolerance=args.stall_tolerance,
+            min_vector_speedup=args.min_vector_speedup)
         if failures:
             print(f"{len(failures)} regression(s) against {args.baseline}:")
             for failure in failures:

@@ -137,6 +137,14 @@ class OoOCore:
         self._lq_used = 0
         self._sq_used = 0
 
+        # Activity counter for the fast path (repro.fastpath): bumped at
+        # every site that mutates machine state beyond the per-cycle
+        # monotone counters.  A step that leaves it unchanged proved the
+        # cycle was a pure no-op, so the vector backend may fast-forward
+        # time to the next scheduled event.  Over-bumping is safe (it only
+        # costs skip opportunities); a missed bump would be unsound.
+        self._activity = 0
+
         # Stall-cause cycle accounting (repro.obs.stall): one bucket per
         # cycle, indexed by StallCause; the sum equals ``cycle`` always.
         self.stall_counts: list[int] = [0] * NUM_CAUSES
@@ -275,6 +283,7 @@ class OoOCore:
         for di in done:
             if di.squashed:
                 continue
+            self._activity += 1
             di.complete = True
             di.complete_cycle = self.cycle
             if di.result is not None:
@@ -338,6 +347,7 @@ class OoOCore:
 
     def _execute(self, di: DynInst) -> None:
         """Begin execution of an RS entry (operands are ready)."""
+        self._activity += 1
         di.issued = True
         di.issue_cycle = self.cycle
         if di.engine_delayed:
@@ -405,6 +415,7 @@ class OoOCore:
                     if prs2 < 0 or ready[prs2]:
                         di.rs2_value = 0 if prs2 < 0 else value[prs2]
                         di.complete = True
+                        self._activity += 1
                 continue
             # Loads.
             if di.mem_complete or not di.addr_ready or di.mem_issued:
@@ -428,6 +439,7 @@ class OoOCore:
                                                  load.info.mem_size)
                 load.access_level = "FWD"
                 load.mem_issued = True
+                self._activity += 1
                 self._schedule_load_completion(load, 1)
                 return
             self.n_loads_forwarded_cache += 1
@@ -448,6 +460,7 @@ class OoOCore:
                                                load.info.mem_size)
         load.access_level = access.level
         load.mem_issued = True
+        self._activity += 1
         self._schedule_load_completion(load, access.latency)
 
     def _memory_dependences(self, load: DynInst):
@@ -577,9 +590,11 @@ class OoOCore:
             if (di.is_load and di.complete and not di.mem_complete
                     and not di.squashed):
                 di.mem_complete = True
+                self._activity += 1
                 self.engine.on_load_data(di)
 
     def _apply_resolution(self, di: DynInst) -> None:
+        self._activity += 1
         if self.checker is not None:
             self.checker.on_resolve(di)
         di.resolution_applied = True
@@ -595,6 +610,7 @@ class OoOCore:
 
     def _squash_after(self, di: DynInst) -> None:
         """Flush every instruction younger than ``di``."""
+        self._activity += 1
         self.n_squashes += 1
         self.last_squash_cycle = self.cycle
         self.observer.squash(self.cycle, di.pc)
@@ -656,6 +672,7 @@ class OoOCore:
         return di.complete
 
     def _retire(self, di: DynInst) -> None:
+        self._activity += 1
         if self.checker is not None:
             self.checker.on_retire(di)
         if di.is_store:
@@ -712,6 +729,7 @@ class OoOCore:
                 self.dispatch_block = int(StallCause.LSQ_FULL)
                 break
             self.fetch_buffer.pop(0)
+            self._activity += 1
             di.dispatch_cycle = self.cycle
             self.rename.rename(di)
             self.engine.on_rename(di)
@@ -752,6 +770,7 @@ class OoOCore:
         branch, which is itself at or before the frontier blocker).
         """
         newly: list[DynInst] = []
+        scan_start = self._vp_scan
         while self._vp_scan < len(self.rob):
             di = self.rob[self._vp_scan]
             if not di.reached_vp:
@@ -760,6 +779,8 @@ class OoOCore:
             if is_obstacle(di):
                 break
             self._vp_scan += 1
+        if newly or self._vp_scan != scan_start:
+            self._activity += 1
         return newly
 
     # ----------------------------------------------------------------- fetch
@@ -774,11 +795,13 @@ class OoOCore:
             inst = self.program.fetch(self.fetch_pc)
             if inst is None:
                 self.fetch_halted = True
+                self._activity += 1
                 return
             di = DynInst(self.seq, self.fetch_pc, inst)
             di.fetch_cycle = self.cycle
             self.seq += 1
             self.n_fetched += 1
+            self._activity += 1
             ready = self.cycle + self.params.frontend_delay
             kind = inst.info.kind
             if kind == Kind.HALT:
@@ -807,3 +830,4 @@ class OoOCore:
             return
         if di.squashed:
             self.fetch_wait_for = None
+            self._activity += 1

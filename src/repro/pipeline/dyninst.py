@@ -49,6 +49,9 @@ class DynInst:
         "stt_root",
         # SPT per-slot taint bits + untaint-broadcast-pending flags (7.3).
         "t_src1", "t_src2", "t_dst", "pend_src1", "pend_src2", "pend_dst",
+        # Fast-path window slot (repro.fastpath): index of this entry's bit
+        # in the vector backend's packed bitmask vectors, -1 outside it.
+        "fp_slot",
     )
 
     def __init__(self, seq: int, pc: int, inst: Instruction):
@@ -111,6 +114,7 @@ class DynInst:
         self.pend_src1 = False
         self.pend_src2 = False
         self.pend_dst = False
+        self.fp_slot = -1
 
     def __repr__(self) -> str:
         flags = "".join((

@@ -105,3 +105,24 @@ class ProtectionEngine:
 
     def tick(self) -> None:
         """End-of-cycle hook: VP advance, declassification, untaint rules."""
+
+    # ------------------------------------------------- quiescent fast-forward
+    def quiet_state(self) -> tuple:
+        """Snapshot of per-cycle monotone engine counters.
+
+        The vector backend (repro.fastpath) fast-forwards over provably
+        quiescent cycles.  Engines whose :meth:`tick`/gating hooks mutate
+        *monotone counters* even on quiescent cycles (STT's per-cycle
+        delayed-check bumps) return them here so the skipped cycles can be
+        accounted for in batch; engines with no such counters return ``()``.
+        """
+        return ()
+
+    def on_quiet_cycles(self, skipped: int, before: tuple) -> None:
+        """``skipped`` quiescent cycles were fast-forwarded.
+
+        ``before`` is the :meth:`quiet_state` snapshot taken immediately
+        before the detection cycle ran; the current state therefore holds
+        one extra cycle's worth of counter deltas, which the engine must
+        replicate ``skipped`` more times.
+        """

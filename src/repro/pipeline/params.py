@@ -36,6 +36,10 @@ class MachineParams:
     memory_dependence_speculation: bool = False
     # SPT (paper Table 1: untaint broadcast width 3).
     untaint_broadcast_width: int = 3
+    # Execution backend: "reference" is the canonical per-DynInst Python
+    # model; "vector" is the struct-of-arrays fast path (repro.fastpath),
+    # bit-identical by construction and by the differential test suite.
+    backend: str = "reference"
     # Simulation safety net.
     max_cycles: int = 5_000_000
     # Lockstep invariant sanitizer (repro.check): "off" (no checking, zero
@@ -54,6 +58,10 @@ class MachineParams:
             raise ValueError(
                 f"check_level must be off, commit, or full "
                 f"(got {self.check_level!r})")
+        if self.backend not in ("reference", "vector"):
+            raise ValueError(
+                f"backend must be 'reference' or 'vector' "
+                f"(got {self.backend!r})")
 
 
 def table1_text() -> str:

@@ -33,6 +33,21 @@ def test_snapshot_shape(snapshot):
         sum(snapshot["stall"]["cycles"].values())
 
 
+def test_snapshot_per_backend_throughput(snapshot):
+    spt = snapshot["spt_throughput"]
+    assert spt["config"] == bench.SPEEDUP_CONFIG
+    assert set(spt["backends"]) == set(bench.BACKENDS)
+    for cell in spt["backends"].values():
+        assert cell["instr_per_sec"] > 0
+    assert spt["vector_speedup"] > 0
+
+
+def test_snapshot_backends_agree_on_stall_shape(snapshot):
+    # The vector backend is bit-identical by contract: the same cell's
+    # stall breakdown must match the reference backend's exactly.
+    assert snapshot["stall_vector"]["cycles"] == snapshot["stall"]["cycles"]
+
+
 def test_write_load_round_trip(snapshot, tmp_path):
     path = bench.write_snapshot(snapshot, str(tmp_path / "BENCH_test.json"))
     loaded = bench.load_snapshot(path)
@@ -58,6 +73,23 @@ def test_compare_flags_throughput_regression(snapshot):
     assert "throughput regression" in failures[0]
     # A 2x speed-up is never a failure (one-sided check).
     assert bench.compare_snapshots(slow, snapshot) == []
+
+
+def test_compare_enforces_vector_speedup_floor(snapshot):
+    speedup = snapshot["spt_throughput"]["vector_speedup"]
+    assert bench.compare_snapshots(snapshot, snapshot,
+                                   min_vector_speedup=0.0) == []
+    failures = bench.compare_snapshots(snapshot, snapshot,
+                                       min_vector_speedup=speedup + 1.0)
+    assert any("vector speedup below floor" in f for f in failures)
+
+
+def test_compare_flags_backend_stall_divergence(snapshot):
+    diverged = copy.deepcopy(snapshot)
+    diverged["stall_vector"]["fractions"]["retiring"] += 0.05
+    failures = bench.compare_snapshots(snapshot, diverged)
+    assert any("backend divergence" in f and "retiring" in f
+               for f in failures)
 
 
 def test_compare_flags_overhead_drift(snapshot):

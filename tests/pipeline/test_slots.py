@@ -8,6 +8,7 @@ reintroduces a per-instance ``__dict__`` and costs both memory and speed.
 import pytest
 
 from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OPCODES, Kind
 from repro.memory.hierarchy import AccessResult
 from repro.pipeline.dyninst import DynInst
 from repro.pipeline.rename import RenameUnit
@@ -33,6 +34,23 @@ def test_dyninst_kind_predicates_are_precomputed():
     assert store.is_store and store.is_transmitter and not store.is_load
     branch = DynInst(3, 0, Instruction("BEQ", rs1=1, rs2=2))
     assert branch.is_control and branch.is_predicted_control
+
+
+@pytest.mark.parametrize("name", sorted(OPCODES))
+def test_precomputed_predicates_match_kind_for_every_opcode(name):
+    # The hot-path booleans baked into DynInst at construction must agree
+    # with the Kind-derived definitions for the whole ISA, so a new opcode
+    # cannot ship with stale precomputes (both backends consume these).
+    info = OPCODES[name]
+    di = DynInst(0, 0, Instruction(name, rd=1, rs1=2, rs2=3))
+    assert di.is_load == (info.kind == Kind.LOAD)
+    assert di.is_store == (info.kind == Kind.STORE)
+    assert di.is_transmitter == info.is_transmitter
+    assert di.is_transmitter == (info.kind in (Kind.LOAD, Kind.STORE))
+    assert di.is_control == (info.kind in (Kind.BRANCH, Kind.JUMP,
+                                           Kind.JUMP_REG))
+    assert di.is_predicted_control == (info.kind in (Kind.BRANCH,
+                                                     Kind.JUMP_REG))
 
 
 def test_renameunit_rejects_arbitrary_attributes():
