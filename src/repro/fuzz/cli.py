@@ -22,7 +22,7 @@ from repro.core.attack_model import AttackModel
 from repro.fuzz.campaign import BOTH_MODELS, CampaignConfig, run_campaign
 from repro.fuzz.generator import PROFILES
 from repro.fuzz.report import render_report
-from repro.harness.configs import CONFIGURATIONS
+from repro.harness.configs import parse_config_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,29 +60,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _parse_configs(text: str) -> list:
-    if text == "all":
-        return list(CONFIGURATIONS)
-    # Configuration names themselves contain commas (SPT{Bwd,ShadowL1}),
-    # so split on commas but re-merge fragments until braces balance.
-    names: list = []
-    pending = ""
-    for part in text.split(","):
-        pending = f"{pending},{part}" if pending else part
-        if pending.count("{") == pending.count("}"):
-            if pending.strip():
-                names.append(pending.strip())
-            pending = ""
-    if pending.strip():
-        names.append(pending.strip())
-    for name in names:
-        if name not in CONFIGURATIONS:
-            raise SystemExit(
-                f"error: unknown configuration {name!r}; "
-                f"known: {', '.join(CONFIGURATIONS)}")
-    if not names:
-        raise SystemExit("error: --configs selected nothing")
-    return names
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -94,7 +71,7 @@ def main(argv: Optional[list] = None) -> int:
         else [AttackModel(args.models)]
     cfg = CampaignConfig(
         seeds=args.seeds, seed_start=args.seed_start, profile=args.profile,
-        configs=_parse_configs(args.configs), models=models,
+        configs=parse_config_names(args.configs), models=models,
         jobs=args.jobs, minimize=args.minimize,
         corpus_dir=args.corpus_dir,
         use_cache=False if args.no_cache else None)

@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Optional
 
 import repro
@@ -111,13 +112,32 @@ def _path_for(key: str) -> str:
     return os.path.join(cache_dir(), f"{key}.json")
 
 
-def load(key: str) -> Optional[RunResult]:
-    """Return the cached result for ``key``, or None on a miss."""
-    try:
-        with open(_path_for(key)) as handle:
-            blob = json.load(handle)
-    except (OSError, ValueError):
-        return None
+def result_to_blob(result: RunResult) -> dict:
+    """The JSON-safe wire/disk form of a ``RunResult``.
+
+    Shared by the on-disk cache and the ``repro.serve`` wire protocol, so
+    a result round-trips identically whether it came from the local disk
+    tier or over HTTP from a remote instance.
+    """
+    return {
+        "workload": result.workload,
+        "config": result.config,
+        "model": result.model.value,
+        "cycles": result.cycles,
+        "retired": result.retired,
+        "stats": result.stats,
+        "metrics": result.metrics,
+        "untaint_by_kind": result.untaint_by_kind,
+        "untaints_per_cycle": result.untaints_per_cycle,
+        "trace_digests": result.trace_digests,
+    }
+
+
+def result_from_blob(blob: dict) -> Optional[RunResult]:
+    """Rebuild a ``RunResult`` from :func:`result_to_blob` form.
+
+    Returns None for stale or corrupt blobs (callers treat it as a miss).
+    """
     try:
         return RunResult(
             workload=blob["workload"],
@@ -133,24 +153,23 @@ def load(key: str) -> Optional[RunResult]:
                                 in blob["untaints_per_cycle"].items()},
             trace_digests=blob.get("trace_digests", {}),
         )
-    except (KeyError, ValueError):
-        return None     # stale/corrupt blob: treat as a miss
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def load(key: str) -> Optional[RunResult]:
+    """Return the cached result for ``key``, or None on a miss."""
+    try:
+        with open(_path_for(key)) as handle:
+            blob = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return result_from_blob(blob)
 
 
 def store(key: str, result: RunResult) -> None:
     """Persist ``result`` under ``key`` (atomic, best-effort)."""
-    blob = {
-        "workload": result.workload,
-        "config": result.config,
-        "model": result.model.value,
-        "cycles": result.cycles,
-        "retired": result.retired,
-        "stats": result.stats,
-        "metrics": result.metrics,
-        "untaint_by_kind": result.untaint_by_kind,
-        "untaints_per_cycle": result.untaints_per_cycle,
-        "trace_digests": result.trace_digests,
-    }
+    blob = result_to_blob(result)
     directory = cache_dir()
     try:
         os.makedirs(directory, exist_ok=True)
@@ -180,4 +199,79 @@ def clear() -> int:
                 removed += 1
             except OSError:
                 pass
+    return removed
+
+
+def _scan() -> tuple:
+    """List ``(path, size, mtime)`` for entries and stray tmp files."""
+    entries: list = []
+    tmp_files: list = []
+    directory = cache_dir()
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return entries, tmp_files
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            info = os.stat(path)
+        except OSError:
+            continue    # deleted by a concurrent gc/clear
+        if name.endswith(".json"):
+            entries.append((path, info.st_size, info.st_mtime))
+        elif name.endswith(".tmp"):
+            tmp_files.append((path, info.st_size, info.st_mtime))
+    return entries, tmp_files
+
+
+def stats() -> dict:
+    """Size/occupancy summary of the disk cache (for ``repro cache stats``)."""
+    entries, tmp_files = _scan()
+    return {
+        "dir": cache_dir(),
+        "entries": len(entries),
+        "bytes": sum(size for _, size, _ in entries),
+        "tmp_files": len(tmp_files),
+        "tmp_bytes": sum(size for _, size, _ in tmp_files),
+    }
+
+
+def gc(max_bytes: Optional[int] = None, tmp_max_age: float = 3600.0,
+       now: Optional[float] = None) -> dict:
+    """Bound the disk tier: sweep stale tmp files, then evict mtime-LRU.
+
+    ``*.tmp`` files are partially written blobs left behind by killed
+    writers (``store`` writes to a tempfile and renames); any older than
+    ``tmp_max_age`` seconds is garbage by construction.  When the entry
+    set exceeds ``max_bytes``, oldest-``mtime`` entries are deleted until
+    it fits — mtime-LRU, since ``load`` never touches entries.  A
+    long-running ``repro serve`` calls this periodically so its disk tier
+    cannot grow without bound.
+    """
+    if now is None:
+        now = time.time()
+    entries, tmp_files = _scan()
+    removed = {"tmp_removed": 0, "evicted": 0, "evicted_bytes": 0}
+    for path, _, mtime in tmp_files:
+        if now - mtime >= tmp_max_age:
+            try:
+                os.unlink(path)
+                removed["tmp_removed"] += 1
+            except OSError:
+                pass
+    if max_bytes is not None:
+        total = sum(size for _, size, _ in entries)
+        for path, size, _ in sorted(entries, key=lambda item: item[2]):
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed["evicted"] += 1
+            removed["evicted_bytes"] += size
+    remaining, _ = _scan()
+    removed["remaining_entries"] = len(remaining)
+    removed["remaining_bytes"] = sum(size for _, size, _ in remaining)
     return removed

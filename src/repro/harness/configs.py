@@ -80,6 +80,36 @@ SECURE_CONFIGS = [name for name in CONFIGURATIONS if name != "UnsafeBaseline"]
 SPT_CONFIGS = [name for name in CONFIGURATIONS if name.startswith("SPT")]
 
 
+def parse_config_names(text: str) -> list:
+    """Split a comma-separated ``--configs`` value into Table 2 names.
+
+    Configuration names themselves contain commas (``SPT{Bwd,ShadowL1}``),
+    so fragments are re-merged until their braces balance.  ``"all"``
+    selects every configuration.  Unknown names and an empty selection
+    raise ``SystemExit`` with a CLI-shaped error message.
+    """
+    if text == "all":
+        return list(CONFIGURATIONS)
+    names: list = []
+    pending = ""
+    for part in text.split(","):
+        pending = f"{pending},{part}" if pending else part
+        if pending.count("{") == pending.count("}"):
+            if pending.strip():
+                names.append(pending.strip())
+            pending = ""
+    if pending.strip():
+        names.append(pending.strip())
+    for name in names:
+        if name not in CONFIGURATIONS:
+            raise SystemExit(
+                f"error: unknown configuration {name!r}; "
+                f"known: {', '.join(CONFIGURATIONS)}")
+    if not names:
+        raise SystemExit("error: --configs selected nothing")
+    return names
+
+
 def make_engine(name: str, model: AttackModel) -> ProtectionEngine:
     """Instantiate the engine for a Table 2 configuration name."""
     config = CONFIGURATIONS[name]

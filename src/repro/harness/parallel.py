@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -88,9 +89,44 @@ def _execute_spec(spec: RunSpec) -> RunResult:
                    params=spec.params, collect_trace=spec.collect_trace)
 
 
-def _run_serial(specs: Sequence[RunSpec]) -> list:
+def _run_one_bounded(spec: RunSpec, timeout: float) -> RunResult:
+    """Run ``spec`` in a daemon thread with a wall-clock bound.
+
+    The serial path has no worker process to abandon, so the bound is
+    best-effort: on timeout the simulation thread keeps running in the
+    background (daemonised, so it cannot block interpreter exit) but the
+    sweep fails promptly with :class:`RunFailure` instead of stalling for
+    as long as the hang lasts.
+    """
+    box: dict = {}
+
+    def target() -> None:
+        try:
+            box["result"] = _execute_spec(spec)
+        except BaseException as exc:     # noqa: BLE001 — reraised below
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True,
+                              name=f"repro-serial-{spec.workload}")
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise RunFailure(spec, f"exceeded the {timeout}s run timeout "
+                               f"(serial path: run abandoned in a "
+                               f"daemon thread)")
+    if "error" in box:
+        exc = box["error"]
+        raise RunFailure(spec, f"{type(exc).__name__}: {exc}") from exc
+    return box["result"]
+
+
+def _run_serial(specs: Sequence[RunSpec],
+                timeout: Optional[float] = None) -> list:
     results = []
     for spec in specs:
+        if timeout is not None:
+            results.append(_run_one_bounded(spec, timeout))
+            continue
         try:
             results.append(_execute_spec(spec))
         except Exception as exc:
@@ -151,7 +187,14 @@ def run_many(specs: Sequence[RunSpec],
     environment (``REPRO_NO_CACHE``); pass an explicit bool to override.
     ``jobs=None`` reads ``REPRO_JOBS`` / CPU count; ``jobs=1`` forces the
     in-process serial path.
+
+    Dedup, cache prefill, and spec-order reassembly live in the shared
+    planning layer (:mod:`repro.serve.planner`); this function is the
+    local executor of a plan — the ``repro serve`` server executes the
+    same plan shape through its tiered store and scheduler instead.
     """
+    from repro.serve.planner import plan_sweep
+
     specs = list(specs)
     if not specs:
         return []
@@ -164,37 +207,15 @@ def run_many(specs: Sequence[RunSpec],
     if use_cache is None:
         use_cache = cache.cache_enabled()
 
-    keys = [spec.key() for spec in specs]
-    results: list = [None] * len(specs)
-    if use_cache:
-        for index, key in enumerate(keys):
-            results[index] = cache.load(key)
-
-    # Deduplicate the misses: one simulation per distinct key.
-    miss_keys: list = []
-    miss_specs: list = []
-    first_index: dict = {}
-    for index, (spec, key) in enumerate(zip(specs, keys)):
-        if results[index] is not None or key in first_index:
-            continue
-        first_index[key] = index
-        miss_keys.append(key)
-        miss_specs.append(spec)
-
-    if miss_specs:
+    plan = plan_sweep(specs, use_cache=use_cache)
+    if plan.miss_specs:
         computed = None
-        if jobs > 1 and len(miss_specs) > 1:
-            computed = _run_pool(miss_specs, jobs, timeout)
+        if jobs > 1 and len(plan.miss_specs) > 1:
+            computed = _run_pool(plan.miss_specs, jobs, timeout)
         if computed is None:
-            computed = _run_serial(miss_specs)
-        for key, spec, result in zip(miss_keys, miss_specs, computed):
-            results[first_index[key]] = result
+            computed = _run_serial(plan.miss_specs, timeout)
+        for key, result in zip(plan.miss_keys, computed):
+            plan.record(key, result)
             if use_cache:
                 cache.store(key, result)
-
-    # Fan shared results back onto duplicate/missed slots.
-    by_key = {key: results[index] for key, index in first_index.items()}
-    for index, key in enumerate(keys):
-        if results[index] is None:
-            results[index] = by_key[key]
-    return results
+    return plan.results()

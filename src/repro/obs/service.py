@@ -1,0 +1,45 @@
+"""Service-side counters for ``repro serve``.
+
+The sweep service accounts every cell it resolves to exactly one source
+(memory / disk / remote tier hit, coalesced onto an in-flight cell, or
+computed) plus scheduler lifecycle events (queued, started, completed,
+timed out).  Counters are grouped two levels deep (``tier.event``),
+thread-safe (the HTTP loop, the scheduler, and test probes may all
+touch them), and snapshot to a JSON-safe nested dict for the server's
+``/v1/stats`` endpoint — the same shape :class:`repro.obs.metrics.Metrics`
+would flatten to, kept separate because these are live mutable service
+counters, not per-run simulation output.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["ServiceCounters"]
+
+
+class ServiceCounters:
+    """Thread-safe two-level counter tree: ``group -> event -> count``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._groups: dict = {}
+
+    def incr(self, group: str, event: str, amount: int = 1) -> None:
+        with self._lock:
+            bucket = self._groups.setdefault(group, {})
+            bucket[event] = bucket.get(event, 0) + amount
+
+    def get(self, group: str, event: str) -> int:
+        with self._lock:
+            return self._groups.get(group, {}).get(event, 0)
+
+    def snapshot(self) -> dict:
+        """A JSON-safe deep copy of every counter."""
+        with self._lock:
+            return {group: dict(events)
+                    for group, events in self._groups.items()}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._groups.clear()

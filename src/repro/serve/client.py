@@ -1,0 +1,183 @@
+"""Sweep client: drive a ``repro serve`` instance, or fall back locally.
+
+The client speaks the NDJSON sweep protocol with per-request
+connections, retries transport failures with exponential backoff, and
+exposes :func:`sweep_or_local` — the policy layer ``repro sweep
+--server`` uses: a server that is down or dies mid-sweep degrades to
+local :func:`~repro.harness.parallel.run_many` execution (results are
+bit-identical by the cache-key contract), while a *cell* failure
+reported by the server is a real failure and raises
+:class:`~repro.harness.parallel.RunFailure` exactly as a local sweep
+would.
+
+The server names result cells by spec index, so the client never needs
+to recompute cache keys — it works even against a server running from a
+different checkout (whose keys embed a different source fingerprint and
+would simply never match locally computed ones).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.parse
+from http.client import HTTPConnection, HTTPException
+from typing import Callable, Optional, Sequence
+
+from repro.harness.parallel import RunFailure, run_many
+from repro.serve.wire import WireError, result_from_wire, spec_to_wire
+
+__all__ = ["ServerClient", "ServerUnavailable", "sweep_or_local"]
+
+
+class ServerUnavailable(RuntimeError):
+    """The server could not be reached (after retries)."""
+
+
+class ServerClient:
+    """HTTP client for one server, with retry/backoff on transport errors."""
+
+    def __init__(self, url: str, retries: int = 3, backoff: float = 0.25,
+                 timeout: Optional[float] = None,
+                 client_id: str = "repro-client"):
+        split = urllib.parse.urlsplit(url if "//" in url else f"//{url}",
+                                      scheme="http")
+        if split.scheme != "http" or not split.hostname:
+            raise ValueError(f"unsupported server URL: {url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # ------------------------------------------------------------- plumbing
+    def _connect(self, timeout: Optional[float]) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=timeout)
+
+    def _get_json(self, path: str, timeout: Optional[float] = 5.0) -> dict:
+        connection = self._connect(timeout)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+        except (OSError, HTTPException, ValueError) as exc:
+            raise ServerUnavailable(
+                f"GET {path} on {self.host}:{self.port} failed: "
+                f"{type(exc).__name__}: {exc}") from exc
+        finally:
+            connection.close()
+        if response.status != 200:
+            raise ServerUnavailable(
+                f"GET {path}: HTTP {response.status}: {payload}")
+        return payload
+
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict:
+        return self._get_json("/v1/stats")
+
+    # ---------------------------------------------------------------- sweep
+    def sweep(self, specs: Sequence, priority: str = "batch",
+              on_event: Optional[Callable] = None) -> list:
+        """Run ``specs`` on the server; results in spec order.
+
+        Transport failures (connection refused, stream truncated
+        mid-sweep) are retried with exponential backoff and raise
+        :class:`ServerUnavailable` once retries are exhausted.  A cell
+        the server reports as failed raises :class:`RunFailure`.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                return self._sweep_once(specs, priority, on_event)
+            except (OSError, HTTPException, _TruncatedStream) as exc:
+                last_error = exc
+        raise ServerUnavailable(
+            f"sweep against {self.host}:{self.port} failed after "
+            f"{self.retries + 1} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}")
+
+    def _sweep_once(self, specs: list, priority: str,
+                    on_event: Optional[Callable]) -> list:
+        body = json.dumps({
+            "cells": [spec_to_wire(spec) for spec in specs],
+            "client": self.client_id,
+            "priority": priority,
+        }).encode("utf-8")
+        connection = self._connect(self.timeout)
+        try:
+            connection.request(
+                "POST", "/v1/sweep", body=body,
+                headers={"Content-Type": "application/json",
+                         "Content-Length": str(len(body))})
+            response = connection.getresponse()
+            if response.status != 200:
+                detail = response.read().decode("utf-8", "replace")
+                raise RunFailure(specs[0],
+                                 f"server rejected the sweep "
+                                 f"(HTTP {response.status}): {detail}")
+            results: list = [None] * len(specs)
+            done = False
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                event = json.loads(line.decode("utf-8"))
+                if on_event is not None:
+                    on_event(event)
+                kind = event.get("event")
+                if kind == "result":
+                    result = result_from_wire(event["result"])
+                    for index in event["indexes"]:
+                        results[index] = result
+                elif kind == "error":
+                    index = event["indexes"][0]
+                    raise RunFailure(specs[index], event["error"])
+                elif kind == "done":
+                    done = True
+            if not done or any(result is None for result in results):
+                raise _TruncatedStream(
+                    "server stream ended before the sweep completed")
+            return results
+        except (ValueError, WireError) as exc:
+            # Undecodable stream content: treat as a transport failure so
+            # the retry/backoff loop gets another attempt.
+            raise _TruncatedStream(f"undecodable stream: {exc}") from exc
+        finally:
+            connection.close()
+
+
+class _TruncatedStream(HTTPException):
+    """The NDJSON stream died before ``done`` — retryable."""
+
+
+def sweep_or_local(specs: Sequence, server: Optional[str] = None,
+                   jobs: Optional[int] = None,
+                   use_cache: Optional[bool] = None,
+                   priority: str = "batch",
+                   on_event: Optional[Callable] = None,
+                   fallback: bool = True,
+                   client: Optional[ServerClient] = None) -> list:
+    """Run a sweep through a server when one is given, else locally.
+
+    With ``fallback=True`` (default) an unreachable or mid-sweep-dead
+    server degrades to :func:`run_many`; ``fallback=False`` propagates
+    :class:`ServerUnavailable` (what CI's bit-identity smoke wants, so a
+    broken server cannot silently pass as a local run).
+    """
+    if server or client is not None:
+        if client is None:
+            client = ServerClient(server)
+        try:
+            return client.sweep(specs, priority=priority, on_event=on_event)
+        except ServerUnavailable:
+            if not fallback:
+                raise
+    return run_many(specs, jobs=jobs, use_cache=use_cache)

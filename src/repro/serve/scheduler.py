@@ -1,0 +1,240 @@
+"""Miss scheduling: fair-share priority queueing onto a worker pool.
+
+The store resolves every sweep cell it cannot serve from a tier into a
+:meth:`Scheduler.run` call.  The scheduler keeps one queue per
+``(priority, client)``: lower priority numbers drain first (interactive
+ahead of batch), and within a priority band clients are served
+round-robin, so a 10 000-cell batch sweep cannot starve a 4-cell
+interactive figure run that arrives behind it.
+
+Execution reuses the harness's process-pool semantics, including
+hang abandonment: a run exceeding its timeout poisons the pool, which is
+dropped without joining (the wedged worker is orphaned) and replaced
+lazily for subsequent work — the same deadline discipline as
+``harness.parallel._run_pool``, adapted to a long-running service where
+"fail the sweep" must not mean "stall every other client".  Where a
+process pool cannot start at all (sandboxed semaphores, no fork), a
+thread pool substitutes; timeouts there abandon a thread, best-effort,
+like the serial path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import multiprocessing
+from collections import OrderedDict, deque
+from typing import Optional
+
+from repro.harness.parallel import _execute_spec, default_jobs
+from repro.obs.service import ServiceCounters
+
+__all__ = ["RunTimeout", "Scheduler", "PRIORITY_INTERACTIVE",
+           "PRIORITY_BATCH"]
+
+PRIORITY_INTERACTIVE = 0
+PRIORITY_BATCH = 1
+
+
+class RunTimeout(RuntimeError):
+    """A scheduled run exceeded its wall-clock bound."""
+
+    def __init__(self, spec, timeout: float):
+        super().__init__(f"run exceeded the {timeout}s timeout "
+                         f"({spec.describe()})")
+        self.spec = spec
+
+
+class Scheduler:
+    """Async fair-share scheduler over a (process, else thread) pool."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 counters: Optional[ServiceCounters] = None):
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.timeout = timeout
+        self.counters = counters or ServiceCounters()
+        self._pool: Optional[concurrent.futures.Executor] = None
+        self._force_threads = False
+        self._active = 0
+        # priority -> client -> deque[(spec, future)]; OrderedDict gives
+        # the round-robin rotation order within the band.
+        self._queues: dict = {}
+        self._cond: Optional[asyncio.Condition] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        self._cond = asyncio.Condition()
+        self._stopping = False
+        self._dispatcher = asyncio.create_task(self._dispatch_loop(),
+                                               name="repro-serve-dispatch")
+        # Warm the pool before any connection exists.  With a fork-based
+        # pool, workers forked mid-request would inherit the accepted
+        # socket fd and hold the client's connection open long after the
+        # server closes it; the spawn/forkserver context (below) prevents
+        # that structurally, and warming here additionally starts the
+        # forkserver daemon from a clean, socket-free process state.
+        pool = self._ensure_pool()
+        if isinstance(pool, concurrent.futures.ProcessPoolExecutor):
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    pool, int, 0)
+            except BaseException:       # noqa: BLE001 — degrade to threads
+                # Workers provably cannot start here (sandbox, an
+                # un-reimportable __main__ under spawn, ...): run
+                # in-process threads for the life of the service.
+                self._abandon_pool(wait=False)
+                self._force_threads = True
+                self.counters.incr("scheduler", "pool_degraded")
+
+    async def stop(self) -> None:
+        self._stopping = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for band in self._queues.values():
+            for queue in band.values():
+                while queue:
+                    _, future = queue.popleft()
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError("scheduler stopped"))
+        self._queues.clear()
+        self._abandon_pool(wait=self._active == 0)
+
+    # ------------------------------------------------------------ interface
+    async def run(self, spec, client: str = "anon",
+                  priority: int = PRIORITY_BATCH):
+        """Queue ``spec`` and await its ``RunResult``."""
+        if self._cond is None:
+            raise RuntimeError("scheduler not started")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        async with self._cond:
+            band = self._queues.setdefault(priority, OrderedDict())
+            band.setdefault(client, deque()).append((spec, future))
+            self.counters.incr("scheduler", "queued")
+            self._cond.notify_all()
+        return await future
+
+    def depth(self) -> int:
+        """Cells queued but not yet started (for the stats endpoint)."""
+        return sum(len(queue) for band in self._queues.values()
+                   for queue in band.values())
+
+    # ------------------------------------------------------------- internal
+    def _take_next(self):
+        """Pop the next (spec, future): lowest priority, fair by client."""
+        for priority in sorted(self._queues):
+            band = self._queues[priority]
+            for client in list(band):
+                queue = band[client]
+                if not queue:
+                    del band[client]
+                    continue
+                item = queue.popleft()
+                # Rotate the client to the back of the band.
+                band.move_to_end(client)
+                if not queue:
+                    del band[client]
+                return item
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        assert self._cond is not None
+        while True:
+            async with self._cond:
+                await self._cond.wait_for(
+                    lambda: self._active < self.jobs
+                    and self._take_peek())
+                item = self._take_next()
+                if item is None:
+                    continue
+                self._active += 1
+            spec, future = item
+            asyncio.create_task(self._execute(spec, future))
+
+    def _take_peek(self) -> bool:
+        return any(queue for band in self._queues.values()
+                   for queue in band.values())
+
+    async def _execute(self, spec, future: asyncio.Future) -> None:
+        self.counters.incr("scheduler", "started")
+        loop = asyncio.get_running_loop()
+        try:
+            result = None
+            for attempt in (0, 1, 2):
+                pool = self._ensure_pool()
+                try:
+                    result = await asyncio.wait_for(
+                        loop.run_in_executor(pool, _execute_spec, spec),
+                        timeout=self.timeout)
+                    break
+                except concurrent.futures.process.BrokenProcessPool:
+                    # Workers died under this run (OOM, signal): drop the
+                    # pool and retry on a fresh one; a second consecutive
+                    # failure means process pools do not work here at
+                    # all, so degrade to threads for the final attempt.
+                    self._abandon_pool(wait=False)
+                    if attempt == 1:
+                        self._force_threads = True
+                        self.counters.incr("scheduler", "pool_degraded")
+                    elif attempt == 2:
+                        raise
+            self.counters.incr("scheduler", "completed")
+            if not future.done():
+                future.set_result(result)
+        except asyncio.TimeoutError:
+            self.counters.incr("scheduler", "timeouts")
+            self._abandon_pool(wait=False)
+            if not future.done():
+                future.set_exception(RunTimeout(spec, self.timeout))
+        except asyncio.CancelledError:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("scheduler stopped mid-run"))
+            raise
+        except BaseException as exc:      # noqa: BLE001 — forwarded
+            self.counters.incr("scheduler", "failed")
+            if not future.done():
+                future.set_exception(exc)
+        finally:
+            self._active -= 1
+            if self._cond is not None and not self._stopping:
+                async with self._cond:
+                    self._cond.notify_all()
+
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            if self._force_threads:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="repro-serve-worker")
+                return self._pool
+            try:
+                # Never fork: a forked worker would inherit whatever
+                # connection fds happen to be open at (re)creation time
+                # and keep those sockets alive past the server's close.
+                try:
+                    context = multiprocessing.get_context("forkserver")
+                except ValueError:
+                    context = multiprocessing.get_context("spawn")
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=context)
+            except (OSError, ValueError, NotImplementedError, ImportError):
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.jobs,
+                    thread_name_prefix="repro-serve-worker")
+        return self._pool
+
+    def _abandon_pool(self, wait: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,253 @@
+"""The sweep server: a zero-dependency asyncio HTTP/1.1 service.
+
+Hand-rolled over ``asyncio.start_server`` — no aiohttp, no frameworks —
+because the protocol surface is four endpoints and the reference path
+must run on a bare CPython:
+
+* ``GET /healthz`` — liveness probe.
+* ``GET /v1/stats`` — tier/scheduler/server counters as JSON.
+* ``GET /v1/result/<key>`` — non-computing store lookup (memory → disk);
+  this is the endpoint a downstream instance's remote tier reads.
+* ``POST /v1/sweep`` — the sweep protocol: a JSON body of wire-encoded
+  cells, answered with a streamed NDJSON event sequence (``planned``,
+  one ``result``/``error`` per unique cell as it lands, ``done``), so a
+  320-cell grid renders incrementally instead of after the slowest cell.
+
+Every connection serves one request and closes (``Connection: close``);
+clients reconnect per request, which keeps the parser trivial and makes
+client retry logic stateless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.obs.service import ServiceCounters
+from repro.serve.planner import plan_sweep
+from repro.serve.scheduler import (PRIORITY_BATCH, PRIORITY_INTERACTIVE,
+                                   Scheduler)
+from repro.serve.store import (DEFAULT_MEMORY_BYTES, RemoteTier, TieredStore)
+from repro.serve.wire import WireError, result_to_wire, spec_from_wire
+
+__all__ = ["ServeApp", "PROTOCOL_VERSION"]
+
+PROTOCOL_VERSION = 1
+MAX_BODY_BYTES = 64 * 1024 * 1024
+_PRIORITY_NAMES = {"interactive": PRIORITY_INTERACTIVE,
+                   "batch": PRIORITY_BATCH}
+
+
+class _BadRequest(Exception):
+    """Maps to a 400 response with the message as the error body."""
+
+
+class ServeApp:
+    """One server instance: HTTP front end + store + scheduler."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 jobs: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 memory_bytes: int = DEFAULT_MEMORY_BYTES,
+                 use_disk: bool = True,
+                 remote_url: Optional[str] = None):
+        self.host = host
+        self.port = port
+        self.counters = ServiceCounters()
+        self.scheduler = Scheduler(jobs=jobs, timeout=timeout,
+                                   counters=self.counters)
+        remote = RemoteTier(remote_url) if remote_url else None
+        self.store = TieredStore(self.scheduler, memory_bytes=memory_bytes,
+                                 use_disk=use_disk, remote=remote,
+                                 counters=self.counters)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        # With port=0 the OS picked an ephemeral port; expose it.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------- HTTP plumbing
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _BadRequest as exc:
+                await self._respond_json(writer, 400, {"error": str(exc)})
+                return
+            await self._dispatch(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass    # client went away mid-exchange; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> tuple:
+        try:
+            request_line = await reader.readline()
+        except ValueError as exc:
+            raise _BadRequest(f"oversized request line: {exc}") from exc
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("bad Content-Length") from None
+        if content_length > MAX_BODY_BYTES:
+            raise _BadRequest(f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, path, body
+
+    async def _respond_json(self, writer: asyncio.StreamWriter, status: int,
+                            payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed"}.get(status, "Error")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + body)
+        await writer.drain()
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._respond_json(writer, 200, {
+                "ok": True, "protocol": PROTOCOL_VERSION})
+        elif path == "/v1/stats" and method == "GET":
+            await self._respond_json(writer, 200, self._stats())
+        elif path.startswith("/v1/result/") and method == "GET":
+            await self._handle_result(path[len("/v1/result/"):], writer)
+        elif path == "/v1/sweep" and method == "POST":
+            await self._handle_sweep(body, writer)
+        elif path in ("/healthz", "/v1/stats", "/v1/sweep") or \
+                path.startswith("/v1/result/"):
+            await self._respond_json(writer, 405, {
+                "error": f"{method} not allowed on {path}"})
+        else:
+            await self._respond_json(writer, 404, {
+                "error": f"no such endpoint: {path}"})
+
+    # ----------------------------------------------------------- endpoints
+    def _stats(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "counters": self.store.stats(),
+            "scheduler": {"jobs": self.scheduler.jobs,
+                          "timeout": self.scheduler.timeout,
+                          "queue_depth": self.scheduler.depth()},
+        }
+
+    async def _handle_result(self, key: str,
+                             writer: asyncio.StreamWriter) -> None:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            await self._respond_json(writer, 400,
+                                     {"error": "malformed result key"})
+            return
+        result = self.store.peek(key)
+        self.counters.incr("server", "peek_hits" if result is not None
+                           else "peek_misses")
+        if result is None:
+            await self._respond_json(writer, 404, {"error": "miss"})
+            return
+        await self._respond_json(writer, 200, result_to_wire(result))
+
+    async def _handle_sweep(self, body: bytes,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            request = json.loads(body.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("sweep body must be a JSON object")
+            cells = request.get("cells")
+            if not isinstance(cells, list):
+                raise ValueError("sweep body needs a 'cells' list")
+            specs = [spec_from_wire(cell) for cell in cells]
+        except (ValueError, WireError) as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        client = str(request.get("client") or "anon")
+        priority = request.get("priority", "batch")
+        if isinstance(priority, str):
+            priority = _PRIORITY_NAMES.get(priority, PRIORITY_BATCH)
+        self.counters.incr("server", "sweeps")
+        self.counters.incr("server", "cells", len(specs))
+
+        # Streamed response: no Content-Length, read-until-close framing.
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+
+        async def emit(event: dict) -> None:
+            writer.write(json.dumps(event).encode("utf-8") + b"\n")
+            await writer.drain()
+
+        # Dedup happens in the shared planner; the store's tiers (not the
+        # plan) decide hit vs. compute, so plan with lookups disabled.
+        plan = plan_sweep(specs, use_cache=False)
+        await emit({"event": "planned", "protocol": PROTOCOL_VERSION,
+                    "cells": len(specs), "unique": plan.unique_cells})
+
+        async def resolve(key: str, spec) -> tuple:
+            try:
+                result, source = await self.store.get_or_compute(
+                    key, spec, client=client, priority=priority)
+                return key, result, source, None
+            except Exception as exc:    # noqa: BLE001 — reported inline
+                return key, None, None, exc
+
+        tasks = [asyncio.create_task(resolve(key, spec))
+                 for key, spec in zip(plan.miss_keys, plan.miss_specs)]
+        failed = False
+        try:
+            for done in asyncio.as_completed(tasks):
+                key, result, source, exc = await done
+                if exc is not None:
+                    failed = True
+                    await emit({"event": "error", "key": key,
+                                "indexes": plan.indexes_for(key),
+                                "error": f"{type(exc).__name__}: {exc}"})
+                    continue
+                await emit({"event": "result", "key": key,
+                            "indexes": plan.indexes_for(key),
+                            "source": source,
+                            "result": result_to_wire(result)})
+            await emit({"event": "done", "ok": not failed,
+                        "stats": self.store.stats()})
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()

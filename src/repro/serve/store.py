@@ -1,0 +1,209 @@
+"""Tiered content-addressed result store with single-flight coalescing.
+
+Lookup order for a sweep cell, cheapest first:
+
+1. **memory** — an in-process LRU over decoded ``RunResult``s with a
+   byte budget (sizes measured in wire-blob bytes, the same bytes the
+   disk tier would hold).
+2. **disk** — the persistent harness cache (``harness/cache.py``),
+   shared with every local ``run_many`` on the machine.
+3. **remote** — optionally, another ``repro serve`` instance's
+   ``/v1/result/<key>`` endpoint: a read-through tier that lets a fleet
+   share one warm store.
+4. **compute** — scheduled onto the worker pool via the
+   :class:`~repro.serve.scheduler.Scheduler`.
+
+The store is **single-flight**: while a cell's simulation (or tier
+probe) is in flight, every further request for the same key awaits the
+same future instead of re-entering the tiers — N concurrent clients
+asking for one cold grid trigger each simulation exactly once, which is
+the property the service exists to provide.  Cache keys make this sound:
+a key names the simulation's full input set (CACHE_VERSION, source
+fingerprint, params, check level, backend), so sharing a result between
+requests can never change what any requester observes.
+
+All store methods run on the server's event loop; blocking tier probes
+(disk reads, remote HTTP) are pushed to worker threads so a slow disk or
+peer cannot stall unrelated requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import OrderedDict
+from typing import Optional
+
+from repro.harness import cache
+from repro.harness.cache import result_from_blob, result_to_blob
+from repro.obs.service import ServiceCounters
+from repro.serve.scheduler import PRIORITY_BATCH, Scheduler
+
+__all__ = ["MemoryTier", "RemoteTier", "TieredStore",
+           "DEFAULT_MEMORY_BYTES"]
+
+DEFAULT_MEMORY_BYTES = 256 * 1024 * 1024
+
+
+class MemoryTier:
+    """Byte-budgeted LRU of decoded results, keyed by cache key."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MEMORY_BYTES):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.used_bytes = 0
+        self._entries: OrderedDict = OrderedDict()   # key -> (result, nbytes)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: str, result, nbytes: Optional[int] = None) -> None:
+        if nbytes is None:
+            nbytes = len(json.dumps(result_to_blob(result)))
+        if nbytes > self.max_bytes:
+            return                      # would evict the whole tier for one cell
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.used_bytes -= old[1]
+        self._entries[key] = (result, nbytes)
+        self.used_bytes += nbytes
+        while self.used_bytes > self.max_bytes and self._entries:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_bytes
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries),
+                "bytes": self.used_bytes,
+                "max_bytes": self.max_bytes}
+
+
+class RemoteTier:
+    """Read-through tier over another ``repro serve`` instance.
+
+    ``get`` is synchronous (called via ``asyncio.to_thread``); failures
+    of any kind are misses — a dead or mismatched peer degrades the
+    store, never breaks it.  Keys embed the source fingerprint, so a
+    peer running different simulator code simply never hits.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def get(self, key: str):
+        import urllib.error
+        import urllib.request
+        url = f"{self.base_url}/v1/result/{key}"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout) as resp:
+                blob = json.loads(resp.read().decode("utf-8"))
+        except (OSError, ValueError, urllib.error.URLError):
+            return None
+        return result_from_blob(blob)
+
+
+class TieredStore:
+    """memory → disk → remote → compute, with request coalescing."""
+
+    def __init__(self, scheduler: Scheduler,
+                 memory_bytes: int = DEFAULT_MEMORY_BYTES,
+                 use_disk: bool = True,
+                 remote: Optional[RemoteTier] = None,
+                 counters: Optional[ServiceCounters] = None):
+        self.memory = MemoryTier(memory_bytes)
+        self.use_disk = use_disk
+        self.remote = remote
+        self.scheduler = scheduler
+        self.counters = counters or scheduler.counters
+        self._inflight: dict = {}       # key -> asyncio.Future
+
+    def peek(self, key: str):
+        """Non-computing lookup (memory, then disk): for ``/v1/result``.
+
+        Deliberately skips the remote tier so two instances pointing at
+        each other cannot ping-pong a miss forever.
+        """
+        result = self.memory.get(key)
+        if result is not None:
+            return result
+        if self.use_disk:
+            result = cache.load(key)
+            if result is not None:
+                self.memory.put(key, result)
+        return result
+
+    async def get_or_compute(self, key: str, spec, client: str = "anon",
+                             priority: int = PRIORITY_BATCH) -> tuple:
+        """Resolve one cell; returns ``(result, source)``.
+
+        ``source`` names where the result came from: ``memory``,
+        ``disk``, ``remote``, ``computed``, or ``coalesced`` (this
+        request awaited a cell another request already had in flight).
+        """
+        result = self.memory.get(key)
+        if result is not None:
+            self.counters.incr("memory", "hits")
+            return result, "memory"
+        self.counters.incr("memory", "misses")
+
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.counters.incr("store", "coalesced")
+            return await inflight, "coalesced"
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        try:
+            result, source = await self._resolve_miss(key, spec, client,
+                                                      priority)
+        except BaseException as exc:     # noqa: BLE001 — shared with waiters
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # Coalesced waiters consume the exception; if none are
+                # waiting, keep it from surfacing as "never retrieved".
+                future.exception()
+            raise
+        self._inflight.pop(key, None)
+        future.set_result(result)
+        return result, source
+
+    async def _resolve_miss(self, key: str, spec, client: str,
+                            priority: int) -> tuple:
+        if self.use_disk:
+            result = await asyncio.to_thread(cache.load, key)
+            if result is not None:
+                self.counters.incr("disk", "hits")
+                self.memory.put(key, result)
+                return result, "disk"
+            self.counters.incr("disk", "misses")
+        if self.remote is not None:
+            result = await asyncio.to_thread(self.remote.get, key)
+            if result is not None:
+                self.counters.incr("remote", "hits")
+                self.memory.put(key, result)
+                if self.use_disk:
+                    await asyncio.to_thread(cache.store, key, result)
+                return result, "remote"
+            self.counters.incr("remote", "misses")
+        result = await self.scheduler.run(spec, client=client,
+                                          priority=priority)
+        self.counters.incr("store", "computed")
+        self.memory.put(key, result)
+        if self.use_disk:
+            await asyncio.to_thread(cache.store, key, result)
+        return result, "computed"
+
+    def stats(self) -> dict:
+        snapshot = self.counters.snapshot()
+        snapshot["memory_tier"] = self.memory.stats()
+        snapshot["inflight"] = len(self._inflight)
+        return snapshot

@@ -1,0 +1,94 @@
+"""JSON wire forms for ``RunSpec`` and ``RunResult``.
+
+The sweep protocol ships specs to the server and results back as plain
+JSON.  Results reuse the disk cache's blob codec
+(:func:`repro.harness.cache.result_to_blob`), so a result is encoded
+identically whether it is cached on disk, held in the memory tier, or
+streamed over HTTP — one codec, one notion of bit-identity.  Specs need
+their own codec because :class:`MachineParams` nests dataclasses
+(``HierarchyParams`` → ``CacheParams``) that ``asdict`` flattens to
+dicts and the server must rebuild exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.attack_model import AttackModel
+from repro.harness.cache import result_from_blob, result_to_blob
+from repro.harness.parallel import RunSpec
+from repro.harness.runner import RunResult
+from repro.memory.cache import CacheParams
+from repro.memory.hierarchy import HierarchyParams
+from repro.pipeline.params import MachineParams
+
+__all__ = ["spec_to_wire", "spec_from_wire", "result_to_wire",
+           "result_from_wire", "WireError"]
+
+
+class WireError(ValueError):
+    """A request cell that cannot be decoded into a valid RunSpec."""
+
+
+def spec_to_wire(spec: RunSpec) -> dict:
+    """Encode one sweep cell as a JSON-safe dict."""
+    return {
+        "workload": spec.workload,
+        "config": spec.config,
+        "model": spec.model.value,
+        "scale": spec.scale,
+        "max_instructions": spec.max_instructions,
+        "params": (dataclasses.asdict(spec.params)
+                   if spec.params is not None else None),
+        "collect_trace": spec.collect_trace,
+    }
+
+
+def _params_from_wire(blob: Optional[dict]) -> Optional[MachineParams]:
+    if blob is None:
+        return None
+    blob = dict(blob)
+    hierarchy = blob.pop("hierarchy", None)
+    if hierarchy is not None:
+        hierarchy = dict(hierarchy)
+        for level in ("l1_params", "l2_params", "l3_params"):
+            if hierarchy.get(level) is not None:
+                hierarchy[level] = CacheParams(**hierarchy[level])
+        hierarchy = HierarchyParams(**hierarchy)
+        blob["hierarchy"] = hierarchy
+    params = MachineParams(**blob)
+    params.validate()
+    return params
+
+
+def spec_from_wire(blob: dict) -> RunSpec:
+    """Decode one sweep cell; raises :class:`WireError` on bad input."""
+    if not isinstance(blob, dict):
+        raise WireError(f"cell must be an object, got {type(blob).__name__}")
+    try:
+        return RunSpec(
+            workload=blob["workload"],
+            config=blob["config"],
+            model=AttackModel(blob.get("model",
+                                       AttackModel.FUTURISTIC.value)),
+            scale=int(blob.get("scale", 1)),
+            max_instructions=blob.get("max_instructions"),
+            params=_params_from_wire(blob.get("params")),
+            collect_trace=bool(blob.get("collect_trace", False)),
+        )
+    except WireError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"bad cell: {type(exc).__name__}: {exc}") from exc
+
+
+def result_to_wire(result: RunResult) -> dict:
+    return result_to_blob(result)
+
+
+def result_from_wire(blob: dict) -> RunResult:
+    result = result_from_blob(blob)
+    if result is None:
+        raise WireError("undecodable result blob")
+    return result

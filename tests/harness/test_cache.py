@@ -160,3 +160,79 @@ def test_checked_and_unchecked_runs_never_share_a_cache_entry(monkeypatch):
     assert len(calls) == 2
     assert cached.metrics["groups"]["check"] \
         == checked_result.metrics["groups"]["check"]
+
+
+# ------------------------------------------------------------- stats / gc
+def _write_entry(name: str, payload: bytes, mtime: float) -> str:
+    path = os.path.join(cache.cache_dir(), name)
+    os.makedirs(cache.cache_dir(), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    os.utime(path, (mtime, mtime))
+    return path
+
+
+def test_stats_counts_entries_and_tmp_files():
+    _write_entry("aa.json", b"x" * 100, mtime=1000.0)
+    _write_entry("bb.json", b"x" * 50, mtime=1001.0)
+    _write_entry("cc.tmp", b"x" * 7, mtime=1002.0)
+    info = cache.stats()
+    assert info["dir"] == cache.cache_dir()
+    assert info["entries"] == 2
+    assert info["bytes"] == 150
+    assert info["tmp_files"] == 1
+    assert info["tmp_bytes"] == 7
+
+
+def test_gc_sweeps_stale_tmp_files_only():
+    stale = _write_entry("stale.tmp", b"x", mtime=0.0)
+    fresh = _write_entry("fresh.tmp", b"x", mtime=9000.0)
+    kept = _write_entry("kept.json", b"x" * 10, mtime=100.0)
+    swept = cache.gc(tmp_max_age=3600.0, now=10000.0)
+    assert swept["tmp_removed"] == 1
+    assert not os.path.exists(stale)
+    assert os.path.exists(fresh)        # younger than tmp_max_age
+    assert os.path.exists(kept)         # entries untouched without max_bytes
+    assert swept["evicted"] == 0
+
+
+def test_gc_evicts_oldest_entries_until_under_budget():
+    oldest = _write_entry("old.json", b"x" * 100, mtime=1000.0)
+    middle = _write_entry("mid.json", b"x" * 100, mtime=2000.0)
+    newest = _write_entry("new.json", b"x" * 100, mtime=3000.0)
+    swept = cache.gc(max_bytes=250, now=10000.0)
+    assert swept["evicted"] == 1
+    assert swept["evicted_bytes"] == 100
+    assert not os.path.exists(oldest)
+    assert os.path.exists(middle) and os.path.exists(newest)
+    assert swept["remaining_entries"] == 2
+    assert swept["remaining_bytes"] == 200
+
+
+def test_gc_on_missing_dir_is_a_noop(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", "/nonexistent/cache/dir")
+    swept = cache.gc(max_bytes=0)
+    assert swept == {"tmp_removed": 0, "evicted": 0, "evicted_bytes": 0,
+                     "remaining_entries": 0, "remaining_bytes": 0}
+
+
+def test_cache_cli_stats_gc_clear(capsys):
+    from repro.harness.cache_cli import cache_main, parse_bytes
+    _write_entry("aa.json", b"x" * 100, mtime=1000.0)
+    _write_entry("bb.json", b"x" * 100, mtime=2000.0)
+
+    assert cache_main(["stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries:    2" in out
+
+    assert cache_main(["gc", "--max-bytes", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted 1 entr(ies)" in out
+    assert cache.stats()["entries"] == 1
+
+    assert cache_main(["clear"]) == 0
+    assert cache.stats()["entries"] == 0
+
+    assert parse_bytes("500m") == 500 * 2**20
+    assert parse_bytes("1G") == 2**30
+    assert parse_bytes("42") == 42

@@ -64,3 +64,14 @@ def test_table2_text_lists_everything():
 def test_unknown_config_raises():
     with pytest.raises(KeyError):
         make_engine("SPT{Quantum}", AttackModel.SPECTRE)
+
+
+def test_parse_config_names_handles_brace_commas():
+    from repro.harness.configs import parse_config_names
+    assert parse_config_names("UnsafeBaseline,SPT{Bwd,ShadowL1},STT") == \
+        ["UnsafeBaseline", "SPT{Bwd,ShadowL1}", "STT"]
+    assert parse_config_names("all") == list(CONFIGURATIONS)
+    with pytest.raises(SystemExit, match="unknown configuration"):
+        parse_config_names("SPT{Bwd")
+    with pytest.raises(SystemExit, match="selected nothing"):
+        parse_config_names(",")

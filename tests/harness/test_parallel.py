@@ -151,3 +151,36 @@ def test_pool_failure_falls_back_to_serial(monkeypatch):
     results = run_many(specs_small(), jobs=4, use_cache=False)
     assert fingerprint(results) == \
         fingerprint(run_many(specs_small(), jobs=1, use_cache=False))
+
+
+def test_serial_path_honours_timeout(monkeypatch):
+    """Regression: jobs=1 used to ignore ``timeout`` entirely, so a wedged
+    simulation hung the sweep forever on the serial path."""
+    def wedge(*_args, **_kwargs):
+        time.sleep(10.0)
+
+    monkeypatch.setattr(parallel, "run_one", wedge)
+    spec = RunSpec("mcf", "UnsafeBaseline", max_instructions=BUDGET)
+    start = time.perf_counter()
+    with pytest.raises(RunFailure, match="timeout"):
+        run_many([spec], jobs=1, timeout=0.3, use_cache=False)
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2.0, (
+        f"serial sweep took {elapsed:.1f}s after a 0.3s timeout")
+
+
+def test_serial_path_without_timeout_runs_inline(monkeypatch):
+    """No timeout → no watchdog thread; run_one is called directly."""
+    import threading
+    threads = []
+
+    real = parallel.run_one
+
+    def spy(*args, **kwargs):
+        threads.append(threading.current_thread())
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(parallel, "run_one", spy)
+    run_many([RunSpec("mcf", "UnsafeBaseline", max_instructions=BUDGET)],
+             jobs=1, use_cache=False)
+    assert threads == [threading.main_thread()]

@@ -1,0 +1,47 @@
+"""Tests for the ``repro sweep`` grid builder."""
+
+import pytest
+
+from repro.serve.cli import _build_sweep_parser, _sweep_grid
+
+
+def grid_for(argv):
+    return _sweep_grid(_build_sweep_parser().parse_args(argv))
+
+
+def test_grid_shape_and_order():
+    specs = grid_for(["--workloads", "mcf,chacha20",
+                      "--configs", "UnsafeBaseline,STT",
+                      "--models", "futuristic", "--budget", "123"])
+    assert [(s.workload, s.config) for s in specs] == [
+        ("mcf", "UnsafeBaseline"), ("mcf", "STT"),
+        ("chacha20", "UnsafeBaseline"), ("chacha20", "STT")]
+    assert all(s.max_instructions == 123 for s in specs)
+
+
+def test_grid_accepts_brace_config_names():
+    specs = grid_for(["--workloads", "mcf",
+                      "--configs", "SPT{Bwd,ShadowL1},UnsafeBaseline",
+                      "--models", "futuristic", "--budget", "100"])
+    assert [s.config for s in specs] == ["SPT{Bwd,ShadowL1}",
+                                        "UnsafeBaseline"]
+
+
+def test_grid_figure7_set():
+    specs = grid_for(["--workloads", "mcf", "--models", "futuristic",
+                      "--budget", "100"])
+    assert len(specs) == 7     # FIGURE7_ORDER
+
+
+def test_grid_rejects_unknown_names():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        grid_for(["--workloads", "nosuch", "--budget", "100"])
+    with pytest.raises(SystemExit, match="unknown configuration"):
+        grid_for(["--configs", "SPT{Bwd", "--budget", "100"])
+
+
+def test_grid_backend_reaches_params():
+    specs = grid_for(["--workloads", "mcf", "--configs", "UnsafeBaseline",
+                      "--models", "futuristic", "--budget", "100",
+                      "--backend", "vector"])
+    assert specs[0].params.backend == "vector"

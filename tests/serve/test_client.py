@@ -1,0 +1,168 @@
+"""Client policy tests: retry/backoff, truncated streams, local fallback."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.harness.parallel import RunFailure, RunSpec, run_many
+from repro.serve.client import ServerClient, ServerUnavailable, sweep_or_local
+
+BUDGET = 300
+
+
+def spec():
+    return RunSpec("mcf", "UnsafeBaseline", max_instructions=BUDGET)
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class FakeServer(threading.Thread):
+    """Accepts sweep POSTs and answers each with a scripted NDJSON body.
+
+    ``bodies`` is one byte-string per expected request; the connection is
+    closed right after writing it, so a body without a ``done`` event
+    models a server dying mid-sweep.
+    """
+
+    def __init__(self, bodies):
+        super().__init__(daemon=True)
+        self.bodies = list(bodies)
+        self.requests = 0
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self._sock.settimeout(5.0)
+        self.port = self._sock.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def run(self):
+        try:
+            while self.bodies:
+                conn, _ = self._sock.accept()
+                with conn:
+                    conn.settimeout(5.0)
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        data += conn.recv(65536)
+                    head, _, rest = data.partition(b"\r\n\r\n")
+                    length = 0
+                    for line in head.split(b"\r\n"):
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.split(b":")[1])
+                    while len(rest) < length:
+                        rest += conn.recv(65536)
+                    self.requests += 1
+                    conn.sendall(b"HTTP/1.1 200 OK\r\n"
+                                 b"Content-Type: application/x-ndjson\r\n"
+                                 b"Connection: close\r\n\r\n"
+                                 + self.bodies.pop(0))
+        except OSError:
+            pass
+        finally:
+            self._sock.close()
+
+    def close(self):
+        self._sock.close()
+
+
+def ndjson(*events) -> bytes:
+    return b"".join(json.dumps(e).encode() + b"\n" for e in events)
+
+
+def truncated_body() -> bytes:
+    # planned, then the stream dies: no result, no done.
+    return ndjson({"event": "planned", "protocol": 1,
+                   "cells": 1, "unique": 1})
+
+
+def test_retry_count_and_backoff(monkeypatch):
+    client = ServerClient("http://127.0.0.1:1", retries=2, backoff=0.5)
+    attempts = []
+    naps = []
+    def refuse(*_args):
+        attempts.append(1)
+        raise OSError("refused")
+
+    monkeypatch.setattr(client, "_sweep_once", refuse)
+    import repro.serve.client as client_mod
+    monkeypatch.setattr(client_mod.time, "sleep", naps.append)
+    with pytest.raises(ServerUnavailable, match="after 3 attempt"):
+        client.sweep([spec()])
+    assert len(attempts) == 3
+    assert naps == [0.5, 1.0]       # exponential backoff between attempts
+
+
+def test_truncated_stream_is_retried_then_unavailable():
+    fake = FakeServer([truncated_body()] * 2)
+    fake.start()
+    client = ServerClient(fake.url, retries=1, backoff=0.01)
+    try:
+        with pytest.raises(ServerUnavailable, match="after 2 attempt"):
+            client.sweep([spec()])
+        assert fake.requests == 2
+    finally:
+        fake.close()
+
+
+def test_fallback_when_server_unreachable():
+    local = run_many([spec()], jobs=1, use_cache=False)
+    results = sweep_or_local([spec()], server=f"http://127.0.0.1:{free_port()}",
+                             jobs=1, use_cache=False,
+                             client=ServerClient(
+                                 f"http://127.0.0.1:{free_port()}",
+                                 retries=0, backoff=0.01))
+    assert results[0].cycles == local[0].cycles
+
+
+def test_fallback_when_server_dies_mid_sweep():
+    fake = FakeServer([truncated_body()])
+    fake.start()
+    client = ServerClient(fake.url, retries=0, backoff=0.01)
+    local = run_many([spec()], jobs=1, use_cache=False)
+    results = sweep_or_local([spec()], jobs=1, use_cache=False, client=client)
+    assert results[0].cycles == local[0].cycles
+    assert fake.requests == 1
+    fake.close()
+
+
+def test_no_fallback_propagates_unavailable():
+    client = ServerClient(f"http://127.0.0.1:{free_port()}",
+                          retries=0, backoff=0.01)
+    with pytest.raises(ServerUnavailable):
+        sweep_or_local([spec()], client=client, fallback=False)
+
+
+def test_cell_failure_is_not_retried_and_not_fallen_back():
+    """A failure *reported by the server* is a real run failure: retrying
+    or silently recomputing locally would mask it."""
+    body = ndjson(
+        {"event": "planned", "protocol": 1, "cells": 1, "unique": 1},
+        {"event": "error", "key": "ab", "indexes": [0],
+         "error": "RuntimeError: cell exploded"},
+        {"event": "done", "ok": False, "stats": {}})
+    fake = FakeServer([body])
+    fake.start()
+    client = ServerClient(fake.url, retries=3, backoff=0.01)
+    try:
+        with pytest.raises(RunFailure, match="cell exploded"):
+            sweep_or_local([spec()], client=client)
+        assert fake.requests == 1       # no retry on a cell failure
+    finally:
+        fake.close()
+
+
+def test_empty_sweep_never_contacts_server():
+    client = ServerClient(f"http://127.0.0.1:{free_port()}", retries=0)
+    assert client.sweep([]) == []
+
+
+def test_rejects_non_http_urls():
+    with pytest.raises(ValueError):
+        ServerClient("ftp://example.org")

@@ -1,0 +1,187 @@
+"""Tests for the fair-share scheduler (``repro.serve.scheduler``)."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.harness.parallel import RunSpec
+from repro.obs.service import ServiceCounters
+from repro.serve import scheduler as scheduler_mod
+from repro.serve.scheduler import (PRIORITY_BATCH, PRIORITY_INTERACTIVE,
+                                   RunTimeout, Scheduler)
+
+
+def make_scheduler(jobs=1, timeout=None) -> Scheduler:
+    sched = Scheduler(jobs=jobs, timeout=timeout,
+                      counters=ServiceCounters())
+    sched._force_threads = True     # monkeypatches must reach the workers
+    return sched
+
+
+def spec(tag: str) -> RunSpec:
+    return RunSpec("mcf", "UnsafeBaseline", scale=1,
+                   max_instructions=100 + len(tag))
+
+
+def test_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        Scheduler(jobs=0)
+
+
+def test_runs_and_returns_results(monkeypatch):
+    monkeypatch.setattr(scheduler_mod, "_execute_spec",
+                        lambda s: f"ran-{s.max_instructions}")
+
+    async def scenario():
+        sched = make_scheduler(jobs=2)
+        await sched.start()
+        results = await asyncio.gather(
+            sched.run(spec("a")), sched.run(spec("bb")))
+        await sched.stop()
+        return results
+
+    assert asyncio.run(scenario()) == ["ran-101", "ran-102"]
+
+
+def test_failure_propagates_to_caller(monkeypatch):
+    def boom(_spec):
+        raise ValueError("simulated failure")
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", boom)
+
+    async def scenario():
+        sched = make_scheduler()
+        await sched.start()
+        try:
+            with pytest.raises(ValueError, match="simulated failure"):
+                await sched.run(spec("a"))
+        finally:
+            await sched.stop()
+        assert sched.counters.get("scheduler", "failed") == 1
+
+    asyncio.run(scenario())
+
+
+def test_priority_bands_drain_interactive_first(monkeypatch):
+    import threading
+    order = []
+    gate = threading.Event()
+
+    def record(s):
+        if s.max_instructions == 101:
+            gate.wait(5.0)          # hold the worker until all are queued
+        order.append(s.max_instructions)
+        return s.max_instructions
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", record)
+
+    async def scenario():
+        sched = make_scheduler(jobs=1)
+        await sched.start()
+        blocker = asyncio.create_task(sched.run(spec("x")))
+        await asyncio.sleep(0.05)   # blocker occupies the only worker
+        batch = [asyncio.create_task(
+            sched.run(spec("b" * n), priority=PRIORITY_BATCH))
+            for n in (2, 3)]
+        urgent = asyncio.create_task(
+            sched.run(spec("iiii"), priority=PRIORITY_INTERACTIVE))
+        await asyncio.sleep(0.05)   # everything enqueued behind the blocker
+        gate.set()
+        await asyncio.gather(blocker, urgent, *batch)
+        await sched.stop()
+
+    asyncio.run(scenario())
+    # Batch cells were enqueued first, but the interactive cell (104)
+    # still runs ahead of both of them.
+    assert order == [101, 104, 102, 103]
+
+
+def test_fair_share_round_robin_between_clients(monkeypatch):
+    import threading
+    order = []
+    gate = threading.Event()
+
+    def record(s):
+        if s.max_instructions == 101:
+            gate.wait(5.0)
+        order.append(s.max_instructions)
+        return s.max_instructions
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", record)
+
+    async def scenario():
+        sched = make_scheduler(jobs=1)
+        await sched.start()
+        blocker = asyncio.create_task(sched.run(spec("x"), client="flood"))
+        await asyncio.sleep(0.05)
+        # Client A floods 3 cells while the worker is held...
+        flood = [asyncio.create_task(
+            sched.run(spec("a" * n), client="flood")) for n in (2, 3, 4)]
+        # ...then client B asks for a single cell.
+        nimble = asyncio.create_task(
+            sched.run(spec("bbbbb"), client="nimble"))
+        await asyncio.sleep(0.05)
+        gate.set()
+        await asyncio.gather(blocker, nimble, *flood)
+        await sched.stop()
+
+    asyncio.run(scenario())
+    # Fair share: nimble's cell (105) waits behind at most one flood
+    # cell instead of the whole flood.
+    position = order.index(105)
+    assert position <= 2, f"fair share violated: order={order}"
+
+
+def test_timeout_raises_and_abandons(monkeypatch):
+    release = []
+
+    def hang(_spec):
+        deadline = time.time() + 5.0
+        while not release and time.time() < deadline:
+            time.sleep(0.01)
+        return "late"
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", hang)
+
+    async def scenario():
+        sched = make_scheduler(jobs=1, timeout=0.2)
+        await sched.start()
+        start = time.perf_counter()
+        try:
+            with pytest.raises(RunTimeout, match="0.2s timeout"):
+                await sched.run(spec("a"))
+        finally:
+            elapsed = time.perf_counter() - start
+            release.append(1)       # let the abandoned thread finish
+            await sched.stop()
+        assert elapsed < 2.0, "timeout did not fire promptly"
+        assert sched.counters.get("scheduler", "timeouts") == 1
+
+    asyncio.run(scenario())
+
+
+def test_stop_fails_queued_work(monkeypatch):
+    def slow(_spec):
+        time.sleep(0.3)
+        return "slow"
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", slow)
+
+    async def scenario():
+        sched = make_scheduler(jobs=1)
+        await sched.start()
+        running = asyncio.create_task(sched.run(spec("a")))
+        queued = asyncio.create_task(sched.run(spec("bb")))
+        await asyncio.sleep(0.05)
+        assert sched.depth() == 1
+        await sched.stop()
+        with pytest.raises(RuntimeError, match="scheduler stopped"):
+            await queued
+        running.cancel()
+        try:
+            await running
+        except (asyncio.CancelledError, RuntimeError):
+            pass
+
+    asyncio.run(scenario())

@@ -1,0 +1,249 @@
+"""End-to-end tests: ServeApp + ServerClient over a real socket.
+
+The server runs on the test's event loop; the synchronous client is
+driven via ``asyncio.to_thread`` so its blocking HTTP reads never stall
+the loop the server needs.
+"""
+
+import asyncio
+import json
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.harness.parallel import RunSpec, run_many
+from repro.serve import scheduler as scheduler_mod
+from repro.serve.client import ServerClient, ServerUnavailable
+from repro.serve.server import PROTOCOL_VERSION, ServeApp
+
+BUDGET = 300
+
+
+def make_app(**kwargs) -> ServeApp:
+    app = ServeApp(port=0, jobs=kwargs.pop("jobs", 2), **kwargs)
+    # Threads keep the tests fast (no pool warm-up) and let
+    # monkeypatched executors reach the workers.
+    app.scheduler._force_threads = True
+    return app
+
+
+def fingerprint(results):
+    return [(r.workload, r.config, r.cycles, r.retired, r.stats,
+             r.untaint_by_kind) for r in results]
+
+
+def grid():
+    return [RunSpec(w, c, max_instructions=BUDGET)
+            for w in ("mcf", "chacha20")
+            for c in ("UnsafeBaseline", "STT")]
+
+
+def test_sweep_bit_identical_to_run_many_and_spec_ordered():
+    specs = grid()
+    specs = [specs[0], specs[1], specs[0]]      # duplicates on purpose
+    events = []
+
+    async def scenario():
+        app = make_app()
+        await app.start()
+        client = ServerClient(app.url)
+        try:
+            return await asyncio.to_thread(
+                client.sweep, specs, "batch", events.append)
+        finally:
+            await app.stop()
+
+    served = asyncio.run(scenario())
+    local = run_many(specs, jobs=1, use_cache=False)
+    assert fingerprint(served) == fingerprint(local)
+    # Streaming protocol shape: planned → one result per unique cell → done.
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "planned"
+    assert kinds[-1] == "done"
+    assert kinds.count("result") == 2
+    assert events[0]["cells"] == 3 and events[0]["unique"] == 2
+    assert events[-1]["ok"] is True
+
+
+def test_two_concurrent_clients_cold_grid_simulates_each_cell_once(
+        monkeypatch):
+    """The acceptance check: a cold grid hit by two clients at once runs
+    every cell's simulation exactly once."""
+    specs = grid()[:2]
+    _, template = specs[0], run_many([specs[0]], jobs=1, use_cache=False)[0]
+    gate = threading.Event()
+
+    def slow_execute(_spec):
+        gate.wait(5.0)      # hold until both sweeps are in flight
+        return template
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", slow_execute)
+
+    async def scenario():
+        app = make_app(jobs=4, use_disk=False)
+        await app.start()
+        a = ServerClient(app.url, client_id="client-a")
+        b = ServerClient(app.url, client_id="client-b")
+        try:
+            sweeps = asyncio.gather(asyncio.to_thread(a.sweep, specs),
+                                    asyncio.to_thread(b.sweep, specs))
+            await asyncio.sleep(0.3)    # let both requests reach the store
+            gate.set()
+            results_a, results_b = await sweeps
+            return results_a, results_b, app.counters.snapshot()
+        finally:
+            gate.set()
+            await app.stop()
+
+    results_a, results_b, counters = asyncio.run(scenario())
+    assert fingerprint(results_a) == fingerprint(results_b)
+    assert counters["scheduler"]["started"] == 2      # one start per cell
+    assert counters["store"]["computed"] == 2
+    # The second client's cells were answered without new simulations:
+    # coalesced onto in-flight futures (or, if timing slips, memory hits).
+    shared = (counters["store"].get("coalesced", 0)
+              + counters["memory"].get("hits", 0))
+    assert shared == 2
+    assert counters["server"]["sweeps"] == 2
+    assert counters["server"]["cells"] == 4
+
+
+def test_warm_sweep_is_served_from_memory():
+    specs = grid()[:2]
+
+    async def scenario():
+        app = make_app()
+        await app.start()
+        client = ServerClient(app.url)
+        try:
+            first = await asyncio.to_thread(client.sweep, specs)
+            second = await asyncio.to_thread(client.sweep, specs)
+            return first, second, app.counters.snapshot()
+        finally:
+            await app.stop()
+
+    first, second, counters = asyncio.run(scenario())
+    assert fingerprint(first) == fingerprint(second)
+    assert counters["memory"]["hits"] == 2
+    assert counters["store"]["computed"] == 2
+
+
+def test_health_and_stats_endpoints():
+    async def scenario():
+        app = make_app()
+        await app.start()
+        client = ServerClient(app.url)
+        try:
+            health = await asyncio.to_thread(client.health)
+            stats = await asyncio.to_thread(client.stats)
+            return health, stats
+        finally:
+            await app.stop()
+
+    health, stats = asyncio.run(scenario())
+    assert health == {"ok": True, "protocol": PROTOCOL_VERSION}
+    assert stats["protocol"] == PROTOCOL_VERSION
+    assert stats["scheduler"]["queue_depth"] == 0
+    assert "counters" in stats
+
+
+def _raw_request(host, port, method, path, body=b""):
+    connection = HTTPConnection(host, port, timeout=5.0)
+    try:
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def test_result_endpoint_peek_hit_miss_and_validation():
+    spec = grid()[0]
+    key = spec.key()
+
+    async def scenario():
+        app = make_app()
+        await app.start()
+        client = ServerClient(app.url)
+        try:
+            miss = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "GET", f"/v1/result/{key}")
+            malformed = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "GET", "/v1/result/NOT-HEX")
+            await asyncio.to_thread(client.sweep, [spec])
+            hit = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "GET", f"/v1/result/{key}")
+            return miss, malformed, hit
+        finally:
+            await app.stop()
+
+    (miss_status, _), (bad_status, _), (hit_status, blob) = \
+        asyncio.run(scenario())
+    assert miss_status == 404
+    assert bad_status == 400
+    assert hit_status == 200
+    assert blob["workload"] == spec.workload
+
+
+def test_error_responses():
+    async def scenario():
+        app = make_app()
+        await app.start()
+        try:
+            bad_body = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "POST", "/v1/sweep",
+                b"this is not json")
+            bad_cells = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "POST", "/v1/sweep",
+                json.dumps({"cells": [{"workload": "nope"}]}).encode())
+            not_found = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "GET", "/v1/nothing")
+            bad_method = await asyncio.to_thread(
+                _raw_request, app.host, app.port, "DELETE", "/healthz")
+            return bad_body, bad_cells, not_found, bad_method
+        finally:
+            await app.stop()
+
+    bad_body, bad_cells, not_found, bad_method = asyncio.run(scenario())
+    assert bad_body[0] == 400
+    assert bad_cells[0] == 400
+    assert not_found[0] == 404
+    assert bad_method[0] == 405
+
+
+def test_cell_failure_streams_error_event_and_raises(monkeypatch):
+    def boom(_spec):
+        raise RuntimeError("simulated cell failure")
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", boom)
+    events = []
+
+    async def scenario():
+        app = make_app(use_disk=False)
+        await app.start()
+        client = ServerClient(app.url)
+        try:
+            with pytest.raises(Exception) as excinfo:
+                await asyncio.to_thread(
+                    client.sweep, [grid()[0]], "batch", events.append)
+            return excinfo.value
+        finally:
+            await app.stop()
+
+    error = asyncio.run(scenario())
+    assert "simulated cell failure" in str(error)
+    assert any(event["event"] == "error" for event in events)
+
+
+def test_stopped_server_refuses_connections():
+    async def scenario():
+        app = make_app()
+        await app.start()
+        url = app.url
+        await app.stop()
+        client = ServerClient(url, retries=0)
+        with pytest.raises(ServerUnavailable):
+            await asyncio.to_thread(client.health)
+
+    asyncio.run(scenario())

@@ -1,0 +1,190 @@
+"""Tests for the tiered store: LRU budget, tier isolation, coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.harness import cache
+from repro.harness.parallel import RunSpec, run_many
+from repro.obs.service import ServiceCounters
+from repro.serve import scheduler as scheduler_mod
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import MemoryTier, TieredStore
+
+BUDGET = 300
+
+
+def small_result():
+    spec = RunSpec("mcf", "UnsafeBaseline", max_instructions=BUDGET)
+    return spec, run_many([spec], jobs=1, use_cache=False)[0]
+
+
+# ----------------------------------------------------------------- MemoryTier
+def test_memory_tier_lru_eviction_by_bytes():
+    tier = MemoryTier(max_bytes=250)
+    tier.put("a", "ra", nbytes=100)
+    tier.put("b", "rb", nbytes=100)
+    assert tier.get("a") == "ra"          # refresh a; b is now LRU
+    tier.put("c", "rc", nbytes=100)       # over budget: evict b
+    assert tier.get("b") is None
+    assert tier.get("a") == "ra"
+    assert tier.get("c") == "rc"
+    assert tier.used_bytes == 200
+
+
+def test_memory_tier_oversized_entry_rejected():
+    tier = MemoryTier(max_bytes=50)
+    tier.put("big", "r", nbytes=100)
+    assert tier.get("big") is None
+    assert len(tier) == 0
+
+
+def test_memory_tier_replace_updates_bytes():
+    tier = MemoryTier(max_bytes=1000)
+    tier.put("k", "v1", nbytes=100)
+    tier.put("k", "v2", nbytes=300)
+    assert tier.used_bytes == 300
+    assert tier.get("k") == "v2"
+
+
+def test_memory_tier_rejects_negative_budget():
+    with pytest.raises(ValueError):
+        MemoryTier(max_bytes=-1)
+
+
+# ---------------------------------------------------------------- TieredStore
+def _threaded_scheduler() -> Scheduler:
+    sched = Scheduler(jobs=4, counters=ServiceCounters())
+    sched._force_threads = True     # keep monkeypatches visible to workers
+    return sched
+
+
+def test_lru_hit_never_consults_disk(monkeypatch):
+    """Cache-tier isolation: a memory hit must not touch lower tiers."""
+    spec, result = small_result()
+    key = spec.key()
+
+    async def scenario():
+        sched = _threaded_scheduler()
+        await sched.start()
+        store = TieredStore(sched, use_disk=True)
+        store.memory.put(key, result)
+
+        def explode(_key):
+            raise AssertionError("disk tier consulted on a memory hit")
+
+        monkeypatch.setattr(cache, "load", explode)
+        got, source = await store.get_or_compute(key, spec)
+        await sched.stop()
+        return got, source
+
+    got, source = asyncio.run(scenario())
+    assert source == "memory"
+    assert got is result
+
+
+def test_disk_hit_promotes_to_memory():
+    spec, result = small_result()
+    key = spec.key()
+    cache.store(key, result)
+
+    async def scenario():
+        sched = _threaded_scheduler()
+        await sched.start()
+        store = TieredStore(sched, use_disk=True)
+        _, first = await store.get_or_compute(key, spec)
+        _, second = await store.get_or_compute(key, spec)
+        await sched.stop()
+        return first, second, store
+
+    first, second, store = asyncio.run(scenario())
+    assert first == "disk"
+    assert second == "memory"
+    assert store.counters.get("disk", "hits") == 1
+    assert store.counters.get("memory", "hits") == 1
+
+
+def test_coalescing_one_simulation_n_waiters(monkeypatch):
+    """N concurrent requests for one in-flight cell run it exactly once."""
+    spec, result = small_result()
+    key = spec.key()
+    calls = []
+
+    def slow_execute(_spec):
+        calls.append(1)
+        import time
+        time.sleep(0.2)
+        return result
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", slow_execute)
+
+    async def scenario():
+        sched = _threaded_scheduler()
+        await sched.start()
+        store = TieredStore(sched, use_disk=False)
+        outcomes = await asyncio.gather(*[
+            store.get_or_compute(key, spec) for _ in range(5)])
+        await sched.stop()
+        return outcomes, store
+
+    outcomes, store = asyncio.run(scenario())
+    assert len(calls) == 1
+    sources = sorted(source for _, source in outcomes)
+    assert sources == ["coalesced"] * 4 + ["computed"]
+    assert all(got.cycles == result.cycles for got, _ in outcomes)
+    assert store.counters.get("store", "coalesced") == 4
+    assert store.counters.get("store", "computed") == 1
+    assert store.counters.get("scheduler", "started") == 1
+
+
+def test_failed_compute_shared_with_waiters_then_retryable(monkeypatch):
+    spec, result = small_result()
+    key = spec.key()
+    attempts = []
+
+    def flaky_execute(_spec):
+        attempts.append(1)
+        import time
+        time.sleep(0.1)
+        if len(attempts) == 1:
+            raise RuntimeError("transient boom")
+        return result
+
+    monkeypatch.setattr(scheduler_mod, "_execute_spec", flaky_execute)
+
+    async def scenario():
+        sched = _threaded_scheduler()
+        await sched.start()
+        store = TieredStore(sched, use_disk=False)
+        failures = await asyncio.gather(
+            *[store.get_or_compute(key, spec) for _ in range(3)],
+            return_exceptions=True)
+        # The in-flight slot must be vacated: a retry can now succeed.
+        got, source = await store.get_or_compute(key, spec)
+        await sched.stop()
+        return failures, got, source
+
+    failures, got, source = asyncio.run(scenario())
+    assert all(isinstance(f, RuntimeError) for f in failures)
+    assert source == "computed"
+    assert got.cycles == result.cycles
+    assert len(attempts) == 2
+
+
+def test_computed_result_lands_in_disk_and_memory():
+    spec, _ = small_result()
+    key = spec.key()
+    cache.clear()
+
+    async def scenario():
+        sched = _threaded_scheduler()
+        await sched.start()
+        store = TieredStore(sched, use_disk=True)
+        _, source = await store.get_or_compute(key, spec)
+        await sched.stop()
+        return source, store
+
+    source, store = asyncio.run(scenario())
+    assert source == "computed"
+    assert store.memory.get(key) is not None
+    assert cache.load(key) is not None      # write-through to disk
