@@ -263,6 +263,9 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "bench":
         from repro.obs.cli import bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "pentest":
+        from repro.security.cli import main as pentest_main
+        return pentest_main(argv[1:])
     if argv and argv[0] == "check":
         from repro.check.cli import main as check_main
         return check_main(argv[1:])

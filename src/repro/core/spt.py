@@ -378,6 +378,13 @@ class SPTEngine(ProtectionEngine):
             shadow = m.child("shadow")
             shadow.set("stores_cleared", self.shadow.stores_cleared)
             shadow.set("loads_cleared", self.shadow.loads_cleared)
+            # Occupancy at snapshot time: how much memory state the shadow
+            # currently tracks, and how much of it is *untainted* resident
+            # data — the adversarial fuzzer's proxy for how deeply a victim
+            # exercised the shadow-L1 declassification path.
+            shadow.set("tracked_lines", len(self.shadow.lines()))
+            shadow.set("resident_untainted_bytes",
+                       self.shadow.resident_untainted_bytes())
         return m
 
     @property

@@ -5,11 +5,18 @@ Examples::
     python -m repro.cli fuzz --seeds 200 --minimize --corpus-dir fuzz-corpus
     python -m repro.cli fuzz --seeds 25 --jobs 2 --configs UnsafeBaseline,STT \\
         --models futuristic
+    python -m repro.cli fuzz --adversarial --profile hard --budget 400 \\
+        --compare-uniform
 
 Exit status is 0 only when the campaign is clean: no secure-configuration
 counterexample, no generator-invariant breakage, and the UnsafeBaseline
 sanity signal fired (when UnsafeBaseline was part of the sweep) — so a CI
 job can gate directly on this command.
+
+``--adversarial`` switches from uniform seed sampling to the guided
+hill-climbing search of :mod:`repro.fuzz.adversarial` against a single
+target configuration (the first of ``--configs``, or UnsafeBaseline).
+Exit status is 1 only for a protection-scope counterexample.
 """
 
 from __future__ import annotations
@@ -57,7 +64,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bypass the persistent result cache")
     parser.add_argument("--max-instructions", type=int, default=None,
                         help="per-run retired-instruction budget")
+    adv = parser.add_argument_group(
+        "adversarial mode",
+        "guided hill-climbing search instead of uniform seed sampling")
+    adv.add_argument("--adversarial", action="store_true",
+                     help="hill-climb over mutated plans, scored by "
+                          "speculative taint reach, against one target "
+                          "configuration")
+    adv.add_argument("--budget", type=int, default=150,
+                     help="simulation budget per search (adversarial mode; "
+                          "default 150)")
+    adv.add_argument("--patience", type=int, default=6,
+                     help="non-improving candidates before a random restart "
+                          "(default 6)")
+    adv.add_argument("--compare-uniform", action="store_true",
+                     help="also run the uniform-sampling baseline under the "
+                          "same budget and report the sims-to-leak of both")
     return parser
+
+
+def _run_adversarial(args) -> int:
+    from repro.fuzz.adversarial import (hill_climb, render_outcome,
+                                        uniform_search)
+    configs = parse_config_names(args.configs)
+    config = "UnsafeBaseline" if args.configs == "all" else configs[0]
+    model = AttackModel.SPECTRE if args.models == "both" \
+        else AttackModel(args.models)
+    kwargs = {}
+    if args.max_instructions:
+        kwargs["max_instructions"] = args.max_instructions
+    outcome = hill_climb(profile=args.profile, config=config, model=model,
+                         budget=args.budget, seed=args.seed_start,
+                         patience=args.patience, **kwargs)
+    print(render_outcome(outcome))
+    if args.compare_uniform:
+        base = uniform_search(profile=args.profile, config=config,
+                              model=model, budget=args.budget,
+                              seed_start=args.seed_start * 1000, **kwargs)
+        print(render_outcome(base))
+        if outcome.found and not base.found:
+            print(f"advantage: hill-climb leaked in {outcome.sims} sims; "
+                  f"uniform exhausted its {base.sims}-sim budget.")
+        elif outcome.found and base.found:
+            print(f"advantage: hill-climb {outcome.sims} sims vs uniform "
+                  f"{base.sims} sims.")
+        else:
+            print("no leak found by either search within budget.")
+    return 1 if outcome.counterexample else 0
 
 
 
@@ -67,6 +120,8 @@ def main(argv: Optional[list] = None) -> int:
     if args.seeds < 1:
         print("error: --seeds must be >= 1", file=sys.stderr)
         return 2
+    if args.adversarial:
+        return _run_adversarial(args)
     models = list(BOTH_MODELS) if args.models == "both" \
         else [AttackModel(args.models)]
     cfg = CampaignConfig(

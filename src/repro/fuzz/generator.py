@@ -167,6 +167,19 @@ PROFILES: dict[str, FuzzProfile] = {
     # Larger victims with more interleaved structure.
     "deep": FuzzProfile(blocks=14, max_gadgets=3, max_loop_count=8,
                         trainings=(2, 3, 4, 6), widen=(8, 16, 24, 32)),
+    # Hardened victims for the adversarial campaign: bounds-bypass gadgets
+    # whose speculation windows are too narrow to leak as generated.  The
+    # leak boundary sits at widen=3 (widen<=2 never leaked across 263
+    # sampled plans), so the sampled envelope is leak-free by construction:
+    # uniform search cannot draw its way to a leak, while the hill climber
+    # can *widen* a window via mutations beyond the envelope, guided by
+    # the taint-reach score.
+    "hard": FuzzProfile(blocks=5, max_gadgets=1,
+                        trainings=(0, 1, 2),
+                        widen=(0, 0, 1, 1, 2, 2),
+                        in_bounds=(4, 6, 8),
+                        exposures=(EXPOSURE_SPECULATIVE,),
+                        transmits=("line",)),
 }
 
 

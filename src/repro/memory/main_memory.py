@@ -10,17 +10,49 @@ from __future__ import annotations
 from repro.isa.opcodes import WORD_MASK
 
 
-class MainMemory:
-    """Byte-addressed main memory with little-endian multi-byte accessors."""
+def uninit_byte(seed: int, address: int) -> int:
+    """The byte an *unwritten* address reads as under the uninitialised-
+    memory-is-secret policy (``MachineParams.uninit_secret_seed``).
 
-    def __init__(self, image: dict[int, int] | None = None):
+    A splitmix64-style keyed mix: deterministic, process-independent, and
+    address-sensitive, so two seeds give trace-indistinguishable fills
+    unless the program actually observes an uninitialised byte.
+    """
+    x = (address * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9) & WORD_MASK
+    x ^= x >> 30
+    x = (x * 0x94D049BB133111EB) & WORD_MASK
+    x ^= x >> 27
+    return x & 0xFF
+
+
+class MainMemory:
+    """Byte-addressed main memory with little-endian multi-byte accessors.
+
+    With ``uninit_seed`` set, never-written bytes read as
+    :func:`uninit_byte` instead of zero (pitchfork's ``SpectreOOBState``
+    policy: uninitialised memory carries secrets).  Writes behave
+    identically in both modes.
+    """
+
+    def __init__(self, image: dict[int, int] | None = None,
+                 uninit_seed: int | None = None):
         self._bytes: dict[int, int] = dict(image) if image else {}
+        self._uninit_seed = uninit_seed
 
     def load(self, address: int, size: int) -> int:
         data = self._bytes
         value = 0
+        if self._uninit_seed is None:
+            for offset in range(size):
+                value |= data.get((address + offset) & WORD_MASK, 0) << (8 * offset)
+            return value
+        seed = self._uninit_seed
         for offset in range(size):
-            value |= data.get((address + offset) & WORD_MASK, 0) << (8 * offset)
+            addr = (address + offset) & WORD_MASK
+            byte = data.get(addr)
+            if byte is None:
+                byte = uninit_byte(seed, addr)
+            value |= byte << (8 * offset)
         return value
 
     def store(self, address: int, value: int, size: int) -> None:

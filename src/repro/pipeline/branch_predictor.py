@@ -55,17 +55,32 @@ class GsharePredictor:
 
 
 class BranchTargetBuffer:
-    """Direct-mapped BTB for indirect jump targets."""
+    """Direct-mapped, tagged BTB for indirect jump targets.
+
+    Each entry stores ``(tag, target)``: a lookup hits only when the stored
+    tag matches the full PC, so two branches that alias in the index
+    (``pc % entries``) no longer silently share a target.  Attack harnesses
+    can still plant an entry that hits *any* PC mapping to the index
+    (``alias_ok=True`` stores a wildcard tag) — this models the partial-tag
+    aliasing that Spectre-BTB exploits without inflicting it on every
+    workload that happens to collide.
+    """
 
     def __init__(self, entries: int = 512):
         self._entries = entries
-        self._table: dict[int, int] = {}
+        self._table: dict[int, tuple[Optional[int], int]] = {}
 
     def predict(self, pc: int) -> Optional[int]:
-        return self._table.get(pc % self._entries)
+        entry = self._table.get(pc % self._entries)
+        if entry is None:
+            return None
+        tag, target = entry
+        if tag is not None and tag != pc:
+            return None
+        return target
 
-    def update(self, pc: int, target: int) -> None:
-        self._table[pc % self._entries] = target
+    def update(self, pc: int, target: int, alias_ok: bool = False) -> None:
+        self._table[pc % self._entries] = (None if alias_ok else pc, target)
 
 
 class ReturnAddressStack:
@@ -84,6 +99,16 @@ class ReturnAddressStack:
         if self._stack:
             return self._stack.pop()
         return None
+
+    def snapshot(self) -> tuple:
+        """The stack contents (immutable, oldest first)."""
+        return tuple(self._stack)
+
+    def restore(self, state: tuple) -> None:
+        self._stack = list(state)
+
+    def depth(self) -> int:
+        return len(self._stack)
 
 
 class BranchPredictor:
@@ -123,6 +148,19 @@ class BranchPredictor:
             return True, self.btb.predict(pc), 0
         raise ValueError(f"{inst.op} is not a control instruction")
 
+    # ------------------------------------------------- speculative state
+    # ``predict`` mutates the RAS and the gshare history *at fetch time*,
+    # i.e. speculatively.  The core snapshots this state before every
+    # prediction and restores it when a squash kills the predicted
+    # instruction, so wrong-path calls/returns cannot permanently corrupt
+    # the stack (the bug that used to break Spectre-RSB gadgets).
+    def speculative_state(self) -> tuple:
+        return (self.direction.history, self.ras.snapshot())
+
+    def restore_speculative_state(self, state: tuple) -> None:
+        self.direction.history = state[0]
+        self.ras.restore(state[1])
+
     def resolve(self, pc: int, inst: Instruction, taken: bool, target: int,
                 history_snapshot: int, mispredicted: bool) -> None:
         """Apply the resolution-time update (delayed by STT/SPT rules)."""
@@ -142,6 +180,11 @@ class BranchPredictor:
             snapshot = self.direction.history
             self.direction.update(pc, snapshot, taken)
 
-    def train_btb(self, pc: int, target: int) -> None:
-        """Plant an indirect-branch target (SmotherSpectre-style)."""
-        self.btb.update(pc, target)
+    def train_btb(self, pc: int, target: int, alias_ok: bool = False) -> None:
+        """Plant an indirect-branch target (SmotherSpectre-style).
+
+        With ``alias_ok=True`` the planted entry hits *any* PC that maps to
+        the same BTB index — the attacker trains from its own, aliased
+        branch address, the way Spectre-BTB injects victim targets.
+        """
+        self.btb.update(pc, target, alias_ok=alias_ok)

@@ -17,6 +17,7 @@ transient instructions.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional
 
 from repro.isa.instructions import Program
@@ -90,7 +91,8 @@ class OoOCore:
         self.params.validate()
         self.engine = engine or ProtectionEngine()
         self.observer = observer or Observer()
-        self.memory = MainMemory(program.initial_memory)
+        self.memory = MainMemory(program.initial_memory,
+                                 uninit_seed=self.params.uninit_secret_seed)
         self.hierarchy = MemoryHierarchy(self.params.hierarchy)
         self.predictor = predictor or BranchPredictor(
             self.params.bp_history_bits, self.params.btb_entries,
@@ -119,6 +121,14 @@ class OoOCore:
         self.fetch_halted = False          # HALT fetched / off-program
         self.fetch_wait_for: Optional[DynInst] = None   # JALR with no BTB target
         self.fetch_resume_cycle = 0
+        # Speculative predictor-state checkpoints, one per predicted
+        # control-flow instruction, appended in fetch (= seq) order:
+        # (seq, state-before-this-prediction).  A squash restores the
+        # checkpoint of the oldest squashed prediction — only control
+        # instructions mutate RAS/history, so that state equals the state
+        # at the squash anchor.  Entries are pruned at retire (a retired
+        # instruction can never be squashed).
+        self._bp_checkpoints: deque = deque()
         self._vp_scan = 0                  # absolute rob index of VP frontier
         # Optional sink for squashed instructions (used by the tracer).
         self.squash_sink: Optional[list] = None
@@ -128,6 +138,7 @@ class OoOCore:
         # metrics hierarchy is built from them at collection time.
         self.n_squashes = 0
         self.n_mispredicts = 0
+        self.n_squashed_insts = 0
         self.n_fetched = 0
         self.n_loads_forwarded = 0
         self.n_loads_forwarded_cache = 0
@@ -170,6 +181,7 @@ class OoOCore:
         return {
             "squashes": self.n_squashes,
             "mispredicts": self.n_mispredicts,
+            "squashed_insts": self.n_squashed_insts,
             "fetched": self.n_fetched,
             "transmitters_delayed_cycles": self._transmitters_delayed,
             "resolutions_delayed_cycles": self._resolutions_delayed,
@@ -194,6 +206,7 @@ class OoOCore:
         spec = m.child("speculation")
         spec.set("squashes", self.n_squashes)
         spec.set("mispredicts", self.n_mispredicts)
+        spec.set("squashed_insts", self.n_squashed_insts)
         spec.set("mem_order_violations", self.n_mem_order_violations)
         mem = m.child("memory")
         mem.set("loads_forwarded", self.n_loads_forwarded)
@@ -599,14 +612,18 @@ class OoOCore:
             self.checker.on_resolve(di)
         di.resolution_applied = True
         di.resolution_delayed = False
-        self.predictor.resolve(di.pc, di.inst, di.actual_taken,
-                               di.actual_target, di.history_snapshot,
-                               di.mispredicted)
-        self.observer.predictor_update(self.cycle, di.pc, di.actual_taken)
+        # Squash *before* the predictor update: the squash restores the
+        # speculative RAS/history checkpoint taken at this prediction, and
+        # ``resolve`` then applies the authoritative repair (the corrected
+        # history bit) on top of the restored state.
         if di.mispredicted:
             self.n_mispredicts += 1
             self._squash_after(di)
             self._redirect_fetch(di.actual_target)
+        self.predictor.resolve(di.pc, di.inst, di.actual_taken,
+                               di.actual_target, di.history_snapshot,
+                               di.mispredicted)
+        self.observer.predictor_update(self.cycle, di.pc, di.actual_taken)
 
     def _squash_after(self, di: DynInst) -> None:
         """Flush every instruction younger than ``di``."""
@@ -614,11 +631,22 @@ class OoOCore:
         self.n_squashes += 1
         self.last_squash_cycle = self.cycle
         self.observer.squash(self.cycle, di.pc)
+        # Undo wrong-path speculative predictor updates (RAS pushes/pops,
+        # gshare history bits) by restoring the checkpoint taken before the
+        # oldest squashed prediction.  Checkpoints are seq-ordered, so
+        # popping from the right leaves ``restore`` holding the oldest one.
+        checkpoints = self._bp_checkpoints
+        restore = None
+        while checkpoints and checkpoints[-1][0] > di.seq:
+            restore = checkpoints.pop()
+        if restore is not None:
+            self.predictor.restore_speculative_state(restore[1])
         squashed: list[DynInst] = []
         while len(self.rob) > self.rob_head and self.rob[-1].seq > di.seq:
             victim = self.rob.pop()
             victim.squashed = True
             squashed.append(victim)
+        self.n_squashed_insts += len(squashed)
         if squashed:
             dead = {d.seq for d in squashed}
             self.rs = [d for d in self.rs if d.seq not in dead]
@@ -692,6 +720,12 @@ class OoOCore:
         di.retired = True
         di.retire_cycle = self.cycle
         di.reached_vp = True
+        # Retired instructions can never be squashed: their predictor-state
+        # checkpoints are dead.  Retire is in seq order, so pruning from the
+        # left keeps the deque bounded by the in-flight window.
+        checkpoints = self._bp_checkpoints
+        while checkpoints and checkpoints[0][0] <= di.seq:
+            checkpoints.popleft()
         self.rename.commit(di)
         self.engine.on_retire(di)
         self.retired_count += 1
@@ -809,6 +843,11 @@ class OoOCore:
                 self.fetch_halted = True
                 return
             if kind in (Kind.BRANCH, Kind.JUMP, Kind.JUMP_REG):
+                # Checkpoint the speculative predictor state (RAS, gshare
+                # history) before the prediction mutates it; restored by
+                # ``_squash_after`` if this instruction gets squashed.
+                self._bp_checkpoints.append(
+                    (di.seq, self.predictor.speculative_state()))
                 taken, target, snapshot = self.predictor.predict(self.fetch_pc, inst)
                 di.predicted_taken = taken
                 di.predicted_target = target

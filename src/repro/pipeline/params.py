@@ -9,6 +9,7 @@ substituted by a gshare + BTB + RAS predictor (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.memory.hierarchy import HierarchyParams
 
@@ -34,6 +35,12 @@ class MachineParams:
     # Memory.
     hierarchy: HierarchyParams = field(default_factory=HierarchyParams)
     memory_dependence_speculation: bool = False
+    # Uninitialised-memory policy (pitchfork's SpectreOOBState): when set,
+    # bytes that were never written read as a deterministic keyed hash of
+    # (seed, address) instead of zero — "uninitialised memory is secret".
+    # Two runs differing only in the seed must then produce identical
+    # attacker-visible traces unless uninitialised bytes leak.
+    uninit_secret_seed: Optional[int] = None
     # SPT (paper Table 1: untaint broadcast width 3).
     untaint_broadcast_width: int = 3
     # Execution backend: "reference" is the canonical per-DynInst Python
@@ -58,6 +65,10 @@ class MachineParams:
             raise ValueError(
                 f"check_level must be off, commit, or full "
                 f"(got {self.check_level!r})")
+        if self.uninit_secret_seed is not None and (
+                not isinstance(self.uninit_secret_seed, int)
+                or self.uninit_secret_seed < 0):
+            raise ValueError("uninit_secret_seed must be a non-negative int")
         if self.backend not in ("reference", "vector"):
             raise ValueError(
                 f"backend must be 'reference' or 'vector' "

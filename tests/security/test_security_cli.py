@@ -1,0 +1,54 @@
+"""The ``repro pentest`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.security.cli import main as pentest_main
+
+
+def test_list_describes_every_scenario(capsys):
+    assert pentest_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("spectre-pht", "spectre-btb", "spectre-rsb", "spectre-stl",
+                 "nonspec-secret", "uninit-transient"):
+        assert name in out
+
+
+def test_single_cell_json(capsys):
+    code = pentest_main(["--scenario", "spectre-pht",
+                         "--configs", "UnsafeBaseline",
+                         "--models", "spectre", "--json"])
+    assert code == 0
+    cells = json.loads(capsys.readouterr().out)
+    assert cells == [{"scenario": "spectre-pht", "config": "UnsafeBaseline",
+                      "model": "SPECTRE", "leaked": True, "expected": True,
+                      "passed": True}]
+
+
+def test_table_output_and_exit_status(capsys):
+    code = pentest_main(["--scenario", "spectre-rsb",
+                         "--configs", "UnsafeBaseline,STT,SPT{Bwd,ShadowL1}",
+                         "--models", "spectre"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "spectre-rsb" in out and "LEAK" in out
+    assert "(!)" not in out
+
+
+def test_unknown_scenario_is_a_usage_error(capsys):
+    assert pentest_main(["--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_unknown_config_and_model_raise_systemexit():
+    with pytest.raises(SystemExit):
+        pentest_main(["--configs", "NotAConfig"])
+    with pytest.raises(SystemExit):
+        pentest_main(["--models", "quantum"])
+
+
+def test_dispatch_through_top_level_cli(capsys):
+    from repro.cli import main as top_main
+    assert top_main(["pentest", "--list"]) == 0
+    assert "spectre-btb" in capsys.readouterr().out
