@@ -35,13 +35,22 @@ class STTEngine(ProtectionEngine):
         self.model = model
         self.name = "STT"
         self.vp_predicate = vp_obstacle(model)
-        # Physical register -> youngest root of taint (a load DynInst).
-        self._root_of: dict[int, DynInst] = {}
+        # Physical register -> youngest root of taint, stored as
+        # (seq, load DynInst).  The seq tag makes the lazy liveness check
+        # safe under the vector backend's DynInst pooling: a squashed root
+        # may be recycled into a brand-new instruction (``squashed`` back to
+        # False), but its seq changes — seqs are never reused — so a stale
+        # entry can never masquerade as a live root.
+        self._root_of: dict[int, tuple[int, DynInst]] = {}
 
     # --------------------------------------------------------------- s-taint
     def _live_root(self, preg: int) -> Optional[DynInst]:
-        root = self._root_of.get(preg)
-        if root is None or root.reached_vp or root.squashed or root.retired:
+        entry = self._root_of.get(preg)
+        if entry is None:
+            return None
+        seq, root = entry
+        if (root.seq != seq or root.reached_vp or root.squashed
+                or root.retired):
             return None
         return root
 
@@ -52,7 +61,7 @@ class STTEngine(ProtectionEngine):
         if di.is_load:
             # Output of an access instruction: s-tainted until the load's VP.
             if di.prd >= 0:
-                self._root_of[di.prd] = di
+                self._root_of[di.prd] = (di.seq, di)
             return
         root: Optional[DynInst] = None
         for preg in (di.prs1, di.prs2):
@@ -66,7 +75,7 @@ class STTEngine(ProtectionEngine):
             if root is None:
                 self._root_of.pop(di.prd, None)
             else:
-                self._root_of[di.prd] = root
+                self._root_of[di.prd] = (root.seq, root)
 
     # ---------------------------------------------------------------- gating
     def may_compute_address(self, di: DynInst) -> bool:

@@ -70,18 +70,101 @@ def lower_instruction(inst: Instruction) -> int:
     return flags
 
 
+# Fetch classes (``kindc``): how the batched fetch loop treats a PC.
+KC_SIMPLE = 0      # straight-line: fetched in run-length batches
+KC_CONTROL = 1     # BRANCH/JUMP/JUMP_REG: per-instruction predict path
+KC_HALT = 2        # HALT: fetch stops after buffering it
+
+# Dispatch classes (``dclass``): which dispatch-time resources a PC takes.
+DC_RS = 0          # plain RS entry (ALU/branch/...)
+DC_LOAD = 1        # RS entry + LQ entry
+DC_STORE = 2       # RS entry + SQ entry
+DC_NONE = 3        # HALT/NOP: completes at dispatch
+DC_JUMP = 4        # JAL: link write + completes at dispatch
+
+
 class ProgramTable:
     """Flat per-PC metadata for one program.
 
     ``flags`` is a plain Python list (scalar indexing by PC in the hot
     loop beats a numpy element read); ``flags_v``/``latency_v``/
     ``mem_size_v`` are the numpy views used by whole-array operations.
+
+    The remaining columns drive the vector backend's batched frontend
+    (:mod:`repro.fastpath.vector_core`): ``insts``/``infos`` give the
+    fetch loop direct references (no ``inst.info`` property per fetch),
+    ``kindc``/``runlen`` classify PCs for run-length batch fetch
+    (``runlen[pc]`` = number of consecutive ``KC_SIMPLE`` instructions
+    starting at ``pc``), and ``hasdest``/``needs_rs``/``dclass`` encode
+    the per-PC dispatch checks the reference re-derives per dynamic
+    instruction.  Every column is *defined* by the reference predicates
+    (``Instruction.dest_reg``, the ``_dispatch`` kind tests); the tests
+    pin them against those functions over all opcodes.
     """
 
-    __slots__ = ("flags", "flags_v", "latency_v", "mem_size_v")
+    __slots__ = ("flags", "flags_v", "latency_v", "mem_size_v",
+                 "insts", "infos", "kindc", "runlen",
+                 "hasdest", "needs_rs", "dclass", "rtier", "aluc")
 
     def __init__(self, program: Program):
         self.flags = [lower_instruction(inst) for inst in program]
+        insts = list(program)
+        self.insts = insts
+        self.infos = [inst.info for inst in insts]
+        kindc = []
+        hasdest = []
+        needs_rs = []
+        dclass = []
+        rtier = []
+        for inst, info in zip(insts, self.infos):
+            kind = info.kind
+            if kind == Kind.HALT:
+                kindc.append(KC_HALT)
+            elif kind in (Kind.BRANCH, Kind.JUMP, Kind.JUMP_REG):
+                kindc.append(KC_CONTROL)
+            else:
+                kindc.append(KC_SIMPLE)
+            hasdest.append(inst.dest_reg() is not None)
+            needs_rs.append(kind not in (Kind.HALT, Kind.NOP, Kind.JUMP))
+            if kind == Kind.LOAD:
+                dclass.append(DC_LOAD)
+            elif kind == Kind.STORE:
+                dclass.append(DC_STORE)
+            elif kind in (Kind.HALT, Kind.NOP):
+                dclass.append(DC_NONE)
+            elif kind == Kind.JUMP:
+                dclass.append(DC_JUMP)
+            else:
+                dclass.append(DC_RS)
+            # Recycled-reinit tier (DynInst.reinit_recycled): which extra
+            # fields a same-pc pooled re-stamp must clear.  JAL is tier 0:
+            # its ``resolution_applied`` is unconditionally re-set at
+            # dispatch before anything can read it.
+            if kind in (Kind.LOAD, Kind.STORE):
+                rtier.append(1)
+            elif kind in (Kind.BRANCH, Kind.JUMP_REG):
+                rtier.append(2)
+            else:
+                rtier.append(0)
+        self.kindc = kindc
+        self.hasdest = hasdest
+        self.needs_rs = needs_rs
+        self.dclass = dclass
+        self.rtier = rtier
+        # ALU-class PCs (the reference _execute's first arm): issue takes
+        # the inlined compute-and-schedule path for these.
+        self.aluc = [info.kind in (Kind.ALU, Kind.ALU_IMM, Kind.MOVE,
+                                   Kind.LOAD_IMM)
+                     for info in self.infos]
+        # Run lengths of consecutive simple instructions, computed right to
+        # left: runlen[pc] answers "how many PCs can the fetch loop batch
+        # from here before it must take the per-instruction path".
+        runlen = [0] * len(insts)
+        run = 0
+        for pc in range(len(insts) - 1, -1, -1):
+            run = run + 1 if kindc[pc] == KC_SIMPLE else 0
+            runlen[pc] = run
+        self.runlen = runlen
         if np is not None:
             self.flags_v = np.asarray(self.flags, dtype=np.uint32)
             self.latency_v = np.asarray([inst.info.latency
@@ -97,4 +180,16 @@ class ProgramTable:
 
 
 def lower_program(program: Program) -> ProgramTable:
-    return ProgramTable(program)
+    """Lower ``program``, caching the table on the program object.
+
+    Programs are immutable once assembled (the core copies the memory
+    image, never the other way around), and both the vector core and the
+    vector SPT engine lower the same program at construction — the cache
+    makes that one lowering, and makes repeated runs of one workload
+    program table-free.
+    """
+    table = getattr(program, "_fastpath_table", None)
+    if table is None:
+        table = ProgramTable(program)
+        program._fastpath_table = table
+    return table

@@ -128,6 +128,76 @@ def _spt_throughput(budget: int, scale: int, reps: int) -> dict:
     }
 
 
+def backend_canary(budget: Optional[int] = None,
+                   scale: Optional[int] = None, reps: int = 3) -> dict:
+    """Time the CI bench cell under both backends (the PR-time canary).
+
+    Much cheaper than a full snapshot: one protected cell, best-of-reps
+    per backend.  CI fails the run when ``vector_speedup`` drops below
+    its floor (1.0 = the vector backend must never be *slower* than the
+    reference), catching fast-path regressions long before the nightly
+    full bench.
+    """
+    budget = budget or bench_budget()
+    scale = scale or bench_scale()
+    canary = _spt_throughput(budget, scale, reps)
+    canary["budget"] = budget
+    canary["scale"] = scale
+    return canary
+
+
+def render_canary(canary: dict) -> str:
+    cells = canary["backends"]
+    lines = [
+        f"backend canary: {canary['workload']} under {canary['config']} "
+        f"({canary['model']}), budget {canary['budget']}, "
+        f"best of {cells['reference']['reps']}",
+    ]
+    for backend in BACKENDS:
+        cell = cells[backend]
+        lines.append(f"  {backend:<10} {cell['instr_per_sec']:>10,.0f} "
+                     f"instr/s  ({cell['best_wall_seconds'] * 1e3:.1f} ms)")
+    lines.append(f"  speedup    {canary['vector_speedup']:>9.2f}x")
+    return "\n".join(lines)
+
+
+def profile_speedup_cell(path: str, budget: Optional[int] = None,
+                         scale: Optional[int] = None, runs: int = 3,
+                         backend: str = "vector", top: int = 25) -> str:
+    """cProfile the CI bench cell, dump pstats to ``path``, return a summary.
+
+    CI uploads the dump as the ``profile-artifact`` whenever the
+    perf-regression gate goes red, so the profile that explains a
+    throughput drop ships with the failing run instead of requiring a
+    local reproduction.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    budget = budget or bench_budget()
+    scale = scale or bench_scale()
+    params = MachineParams(backend=backend)
+    # One warm-up run keeps import/first-touch costs out of the profile.
+    run_one(SPEEDUP_WORKLOAD, SPEEDUP_CONFIG, model=SPEEDUP_MODEL,
+            scale=scale, max_instructions=budget, params=params)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(max(1, runs)):
+        run_one(SPEEDUP_WORKLOAD, SPEEDUP_CONFIG, model=SPEEDUP_MODEL,
+                scale=scale, max_instructions=budget, params=params)
+    profiler.disable()
+    profiler.dump_stats(path)
+    out = io.StringIO()
+    out.write(f"cProfile of {SPEEDUP_WORKLOAD}/{SPEEDUP_CONFIG} "
+              f"({SPEEDUP_MODEL.value}), backend={backend}, "
+              f"budget={budget}, runs={max(1, runs)}\n")
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(top)
+    stats.sort_stats("tottime").print_stats(top)
+    return out.getvalue()
+
+
 def _stall_shape(budget: int, scale: int, backend: str = "reference") -> dict:
     """Per-cause cycle fractions for the reference protection cell."""
     result = run_one(STALL_WORKLOAD, STALL_CONFIG, model=STALL_MODEL,
@@ -219,7 +289,15 @@ def compare_snapshots(baseline: dict, current: dict,
       same tolerance — the snapshot carries its own bit-identity witness.
     """
     failures: list = []
-    for field in ("budget", "scale", "workloads"):
+    if baseline.get("budget") != current.get("budget"):
+        # A budget mismatch would otherwise surface as a wall of
+        # deterministic overhead/stall diffs; name the knob instead.
+        failures.append(
+            f"incomparable snapshots: baseline was recorded at budget "
+            f"{baseline.get('budget')!r} but current at "
+            f"{current.get('budget')!r} — record both under the same "
+            f"REPRO_BENCH_BUDGET (or pass the same --budget)")
+    for field in ("scale", "workloads"):
         if baseline.get(field) != current.get(field):
             failures.append(
                 f"incomparable snapshots: {field} differs "

@@ -52,13 +52,31 @@ class DynInst:
         # Fast-path window slot (repro.fastpath): index of this entry's bit
         # in the vector backend's packed bitmask vectors, -1 outside it.
         "fp_slot",
+        # Fast-path wakeup state: number of source operands this entry still
+        # waits on before it becomes an issue candidate (vector backend's
+        # event-driven scheduler; unused by the reference issue loop).
+        "fp_wait",
     )
 
     def __init__(self, seq: int, pc: int, inst: Instruction):
+        self.reinit(seq, pc, inst, inst.info)
+
+    def reinit(self, seq: int, pc: int, inst: Instruction,
+               info) -> None:
+        """(Re)initialise every field, recycling the allocation.
+
+        The vector backend pools squashed instances and re-stamps them for
+        new fetches (allocation is a hot-path cost under wrong-path
+        overfetch); ``info`` is passed in so the pool's tight fetch loop can
+        reuse the decode table's :class:`~repro.isa.opcodes.OpInfo` instead
+        of paying the ``inst.info`` property per instruction.  Any structure
+        that may hold a stale reference across a squash therefore tags it
+        with the seq it saw and revalidates ``di.seq`` before trusting it —
+        seqs are never reused.
+        """
         self.seq = seq
         self.pc = pc
         self.inst = inst
-        info = inst.info
         self.info = info
         kind = info.kind
         self.kind = kind
@@ -115,6 +133,61 @@ class DynInst:
         self.pend_src2 = False
         self.pend_dst = False
         self.fp_slot = -1
+        self.fp_wait = 0
+
+    def reinit_recycled(self, seq: int, tier: int) -> None:
+        """Slim re-stamp for a pooled carcass reused at the *same pc*.
+
+        The vector backend keeps its recycling pools keyed by pc, so a
+        recycled instance is always re-fetched as the same static
+        instruction.  Every field :meth:`reinit` resets but this method
+        skips is then provably dead state, in one of three ways:
+
+        * *identical by construction*: ``pc``/``inst``/``info``/``kind``
+          and the kind predicates depend only on the pc;
+        * *written before read on every path of this kind*: rename fields
+          (``prs1``/``prs2``/``prd``/``old_prd`` — ``undo`` restores
+          ``prd = -1`` on squash, and the same-pc read/write flags re-set
+          exactly the same subset at dispatch), operand/result values
+          (captured in ``_execute``/``_memory_stage``/load completion
+          before any consumer), control outcomes (``predicted_*``/
+          ``history_snapshot`` at fetch, ``actual_*``/``mispredicted`` at
+          execute), and SPT slot bits (``t_*`` at rename);
+        * *reader-free in fast mode*: the lifecycle timestamps, the
+          ``pend_*`` broadcast bookkeeping, ``lsq_index``, ``stt_root``,
+          ``prediction_missing``, ``load_value``/``access_level`` are only
+          read by the tracer/sanitizer, which disable the fast path.
+
+        ``tier`` widens the reset set for kinds with cross-life hazards:
+        1 (loads/stores) clears the memory-disambiguation and
+        store-to-load-forwarding state read *before* the address resolves,
+        plus ``declassified`` (transmitters leak operands at the VP);
+        2 (branches/indirect jumps) clears ``resolution_applied`` (read by
+        the visibility-point predicate before execute re-sets it) and
+        ``declassified``.  The batched fetch loop inlines these stores —
+        this method is the specification it mirrors (and the path the
+        per-instruction control fetch takes).
+        """
+        self.seq = seq
+        self.issued = False
+        self.complete = False
+        self.ready_cycle = -1
+        self.retired = False
+        self.squashed = False
+        self.engine_delayed = False
+        self.resolution_delayed = False
+        self.reached_vp = False
+        if tier:
+            self.declassified = False
+            if tier == 1:
+                self.addr_ready = False
+                self.mem_issued = False
+                self.mem_complete = False
+                self.forwarded_from = None
+                self.fwding_st = -1
+                self.stl_public = False
+            else:
+                self.resolution_applied = False
 
     def __repr__(self) -> str:
         flags = "".join((

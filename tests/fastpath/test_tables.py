@@ -13,10 +13,12 @@ from repro.core.taint_algebra import (PC_INFERABLE_KINDS, PURE_KINDS,
                                       backward_untaints,
                                       forward_untaints_output,
                                       initial_output_taint, leaked_operands)
-from repro.fastpath.tables import (F_BRANCH, F_INV_ALU, F_INV_MONO,
+from repro.fastpath.tables import (DC_JUMP, DC_LOAD, DC_NONE, DC_RS,
+                                   DC_STORE, F_BRANCH, F_INV_ALU, F_INV_MONO,
                                    F_JUMP_REG, F_LEAK_SRC1, F_LEAK_SRC2,
                                    F_LOAD, F_PC_INFERABLE, F_PURE,
                                    F_READS_RS2, F_STORE, F_TRANSMITTER,
+                                   KC_CONTROL, KC_HALT, KC_SIMPLE,
                                    lower_instruction, lower_program)
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import OPCODES, Kind
@@ -103,3 +105,48 @@ def test_program_table_covers_every_pc():
         assert table.flags_v.tolist() == table.flags
         assert table.latency_v.tolist() == [i.info.latency for i in insts]
         assert table.mem_size_v.tolist() == [i.info.mem_size for i in insts]
+
+
+# The frontend/dispatch columns are *defined* by these reference
+# predicates; pin each one over every PC of a real program so a new
+# opcode kind (or a change to the reference checks they cache) cannot
+# silently diverge the batched paths that consume them.
+
+_KINDC = {Kind.HALT: KC_HALT, Kind.BRANCH: KC_CONTROL,
+          Kind.JUMP: KC_CONTROL, Kind.JUMP_REG: KC_CONTROL}
+_DCLASS = {Kind.LOAD: DC_LOAD, Kind.STORE: DC_STORE, Kind.HALT: DC_NONE,
+           Kind.NOP: DC_NONE, Kind.JUMP: DC_JUMP}
+_RTIER = {Kind.LOAD: 1, Kind.STORE: 1, Kind.BRANCH: 2, Kind.JUMP_REG: 2}
+_ALU_KINDS = (Kind.ALU, Kind.ALU_IMM, Kind.MOVE, Kind.LOAD_IMM)
+
+
+@pytest.mark.parametrize("workload", ["mcf", "xz", "chacha20"])
+def test_frontend_columns_match_reference_predicates(workload):
+    program = get_workload(workload).program(1)
+    table = lower_program(program)
+    insts = list(program)
+    for pc, inst in enumerate(insts):
+        kind = inst.info.kind
+        assert table.kindc[pc] == _KINDC.get(kind, KC_SIMPLE)
+        assert table.hasdest[pc] == (inst.dest_reg() is not None)
+        assert table.needs_rs[pc] == (kind not in (Kind.HALT, Kind.NOP,
+                                                   Kind.JUMP))
+        assert table.dclass[pc] == _DCLASS.get(kind, DC_RS)
+        assert table.rtier[pc] == _RTIER.get(kind, 0)
+        assert table.aluc[pc] == (kind in _ALU_KINDS)
+        assert table.insts[pc] is inst
+        assert table.infos[pc] is inst.info
+    # runlen[pc] counts the consecutive KC_SIMPLE PCs starting at pc.
+    for pc in range(len(insts)):
+        expected = 0
+        probe = pc
+        while (probe < len(insts)
+               and table.kindc[probe] == KC_SIMPLE):
+            expected += 1
+            probe += 1
+        assert table.runlen[pc] == expected
+
+
+def test_lower_program_is_memoized_per_program():
+    program = get_workload("mcf").program(1)
+    assert lower_program(program) is lower_program(program)

@@ -111,8 +111,14 @@ def test_compare_refuses_mismatched_sweeps(snapshot):
     other = copy.deepcopy(snapshot)
     other["budget"] = BUDGET * 2
     failures = bench.compare_snapshots(snapshot, other)
-    assert failures == [f"incomparable snapshots: budget differs "
-                        f"({BUDGET!r} vs {BUDGET * 2!r})"]
+    # A budget mismatch is a CI configuration error, not a regression:
+    # the message must name the knob to fix (REPRO_BENCH_BUDGET) and
+    # both disagreeing values.
+    assert len(failures) == 1
+    assert "incomparable snapshots" in failures[0]
+    assert "REPRO_BENCH_BUDGET" in failures[0]
+    assert repr(BUDGET) in failures[0]
+    assert repr(BUDGET * 2) in failures[0]
 
 
 def test_bench_cli_compare_exit_codes(snapshot, tmp_path):
@@ -125,6 +131,52 @@ def test_bench_cli_compare_exit_codes(snapshot, tmp_path):
     assert bench_main(["compare", base, regressed]) == 1
     assert bench_main(["compare", base, str(tmp_path / "missing.json")]) == 2
     assert bench_main(["show", base]) == 0
+
+
+@pytest.fixture(scope="module")
+def canary():
+    return bench.backend_canary(budget=BUDGET, reps=1)
+
+
+def test_backend_canary_shape(canary):
+    assert canary["budget"] == BUDGET
+    assert canary["workload"] == bench.SPEEDUP_WORKLOAD
+    assert canary["config"] == bench.SPEEDUP_CONFIG
+    assert set(canary["backends"]) == set(bench.BACKENDS)
+    for cell in canary["backends"].values():
+        assert cell["instr_per_sec"] > 0
+        assert cell["best_wall_seconds"] > 0
+    assert canary["vector_speedup"] == pytest.approx(
+        canary["backends"]["vector"]["instr_per_sec"]
+        / canary["backends"]["reference"]["instr_per_sec"])
+
+
+def test_render_canary_mentions_both_backends(canary):
+    text = bench.render_canary(canary)
+    assert "reference" in text
+    assert "vector" in text
+    assert f"{canary['vector_speedup']:.2f}x" in text
+
+
+def test_bench_cli_canary_exit_codes(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_BENCH_BUDGET", str(BUDGET))
+    # Any positive speedup clears a 0.0 floor; no real ratio reaches 1e9.
+    assert bench_main(["canary", "--reps", "1", "--min-ratio", "0.0"]) == 0
+    assert bench_main(["canary", "--reps", "1", "--min-ratio", "1e9"]) == 1
+    err = capsys.readouterr().err
+    assert "below the" in err
+
+
+def test_bench_cli_profile_writes_pstats(tmp_path, monkeypatch, capsys):
+    import pstats
+
+    monkeypatch.setenv("REPRO_BENCH_BUDGET", str(BUDGET))
+    out = str(tmp_path / "bench.pstats")
+    assert bench_main(["profile", "-o", out, "--runs", "1"]) == 0
+    text = capsys.readouterr().out
+    assert "cumulative" in text
+    stats = pstats.Stats(out)
+    assert stats.total_calls > 0
 
 
 def test_bench_cli_record(tmp_path, monkeypatch):
