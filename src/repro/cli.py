@@ -269,6 +269,9 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "check":
         from repro.check.cli import main as check_main
         return check_main(argv[1:])
+    if argv and argv[0] == "verify":
+        from repro.verify.cli import main as verify_main
+        return verify_main(argv[1:])
     if argv and argv[0] == "backend-diff":
         from repro.fastpath.diff import main as diff_main
         return diff_main(argv[1:])

@@ -76,3 +76,21 @@ class Corpus:
 
     def counterexamples(self) -> list:
         return self.records("counterexample")
+
+    def replayable(self) -> list:
+        """(record, plan) pairs for every valid seed record, oldest first.
+
+        The replay hook for cross-oracle checking: seed records don't store
+        plan JSON (plans are deterministic in (seed, profile)), so this
+        regenerates each plan and hands it back with the recorded concrete
+        verdicts.  Records from stale fingerprints are included — the
+        symbolic checker re-judges the *plan*, which is fingerprint-free.
+        """
+        from repro.fuzz.generator import generate_plan
+        pairs = []
+        for record in self.records("seed"):
+            if not record.get("valid"):
+                continue
+            pairs.append((record,
+                          generate_plan(record["seed"], record["profile"])))
+        return pairs

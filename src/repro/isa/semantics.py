@@ -4,6 +4,23 @@ the out-of-order pipeline's execute stage.
 Keeping the semantics in one place guarantees that the pipeline cannot drift
 from the reference model: both call :func:`alu_result`, :func:`branch_taken`
 and the memory access helpers below.
+
+The semantics are written once, as *tables* of per-opcode functions over a
+pluggable **value domain** (:func:`build_alu_table`,
+:func:`build_branch_table`, :func:`build_effective_address`).  A domain
+supplies the primitive operations — 64-bit add, shifts, comparisons, … —
+over whatever value representation it likes:
+
+* :class:`ConcreteDomain` computes over plain Python ints and backs the
+  public entry points below (the pipeline / interpreter hot path);
+* ``repro.verify.expr.SymbolicDomain`` computes over expression terms with
+  secret-byte variables, so the bounded symbolic checker executes the exact
+  same per-opcode semantics the concrete machine does.
+
+Because both domains share one table, the symbolic checker cannot disagree
+with the concrete machine about what an opcode *means* — only about what is
+known of its operands.  ``tests/isa/test_semantics_pin.py`` pins the
+concrete table bit-for-bit against the pre-refactor if-chain.
 """
 
 from __future__ import annotations
@@ -12,92 +29,209 @@ from repro.isa.instructions import Instruction
 from repro.isa.opcodes import WORD_MASK, to_signed, to_unsigned
 
 
+class ConcreteDomain:
+    """The concrete value domain: 64-bit unsigned semantics over Python ints.
+
+    Every primitive takes and returns plain ints in ``[0, 2**64)``
+    (comparisons return Python ints 0/1 for ALU forms and bools for branch
+    predicates).  This is the reference definition of every operation;
+    other domains (the symbolic one) must agree with it on concrete inputs.
+    """
+
+    name = "concrete"
+
+    @staticmethod
+    def const(value: int) -> int:
+        return value & WORD_MASK
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        return (a + b) & WORD_MASK
+
+    @staticmethod
+    def sub(a: int, b: int) -> int:
+        return (a - b) & WORD_MASK
+
+    @staticmethod
+    def and_(a: int, b: int) -> int:
+        return a & b
+
+    @staticmethod
+    def or_(a: int, b: int) -> int:
+        return a | b
+
+    @staticmethod
+    def xor(a: int, b: int) -> int:
+        return a ^ b
+
+    @staticmethod
+    def not_(a: int) -> int:
+        return a ^ WORD_MASK
+
+    @staticmethod
+    def mul(a: int, b: int) -> int:
+        return (a * b) & WORD_MASK
+
+    @staticmethod
+    def div(a: int, b: int) -> int:
+        if b == 0:
+            return WORD_MASK
+        return to_unsigned(int(to_signed(a) / to_signed(b)))
+
+    @staticmethod
+    def rem(a: int, b: int) -> int:
+        if b == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(b)
+        return to_unsigned(sa - sb * int(sa / sb))
+
+    @staticmethod
+    def sll(a: int, b: int) -> int:
+        return (a << (b & 63)) & WORD_MASK
+
+    @staticmethod
+    def srl(a: int, b: int) -> int:
+        return a >> (b & 63)
+
+    @staticmethod
+    def sra(a: int, b: int) -> int:
+        return to_unsigned(to_signed(a) >> (b & 63))
+
+    @staticmethod
+    def rotl(a: int, shift: int) -> int:
+        shift &= 63
+        if not shift:
+            return a
+        return ((a << shift) | (a >> (64 - shift))) & WORD_MASK
+
+    @staticmethod
+    def rotr(a: int, shift: int) -> int:
+        shift &= 63
+        if not shift:
+            return a
+        return ((a >> shift) | (a << (64 - shift))) & WORD_MASK
+
+    @staticmethod
+    def slt(a: int, b: int) -> int:
+        return 1 if to_signed(a) < to_signed(b) else 0
+
+    @staticmethod
+    def sltu(a: int, b: int) -> int:
+        return 1 if a < b else 0
+
+    # Branch predicates: concrete evaluation yields Python bools.
+    @staticmethod
+    def eq(a: int, b: int) -> bool:
+        return a == b
+
+    @staticmethod
+    def ne(a: int, b: int) -> bool:
+        return a != b
+
+    @staticmethod
+    def lt(a: int, b: int) -> bool:
+        return to_signed(a) < to_signed(b)
+
+    @staticmethod
+    def ge(a: int, b: int) -> bool:
+        return to_signed(a) >= to_signed(b)
+
+    @staticmethod
+    def ltu(a: int, b: int) -> bool:
+        return a < b
+
+    @staticmethod
+    def geu(a: int, b: int) -> bool:
+        return a >= b
+
+
+def build_alu_table(d) -> dict:
+    """The ALU / move / load-immediate semantics over domain ``d``.
+
+    Returns ``{opcode: fn(a, b, imm) -> value}`` where ``a``/``b`` are the
+    rs1/rs2 values *in the domain's representation* and ``imm`` is the
+    instruction's (concrete, static) immediate.  Immediate operands are
+    injected through ``d.const`` so domains see them as ordinary values;
+    shift/rotate immediates stay concrete (they are static by construction).
+    """
+    c = d.const
+    return {
+        # Register-register ALU.
+        "ADD": lambda a, b, imm: d.add(a, b),
+        "SUB": lambda a, b, imm: d.sub(a, b),
+        "AND": lambda a, b, imm: d.and_(a, b),
+        "OR": lambda a, b, imm: d.or_(a, b),
+        "XOR": lambda a, b, imm: d.xor(a, b),
+        "SLL": lambda a, b, imm: d.sll(a, b),
+        "SRL": lambda a, b, imm: d.srl(a, b),
+        "SRA": lambda a, b, imm: d.sra(a, b),
+        "SLT": lambda a, b, imm: d.slt(a, b),
+        "SLTU": lambda a, b, imm: d.sltu(a, b),
+        "MUL": lambda a, b, imm: d.mul(a, b),
+        "DIV": lambda a, b, imm: d.div(a, b),
+        "REM": lambda a, b, imm: d.rem(a, b),
+        # Register-immediate ALU.
+        "ADDI": lambda a, b, imm: d.add(a, c(imm)),
+        "ANDI": lambda a, b, imm: d.and_(a, c(imm)),
+        "ORI": lambda a, b, imm: d.or_(a, c(imm)),
+        "XORI": lambda a, b, imm: d.xor(a, c(imm)),
+        "SLLI": lambda a, b, imm: d.sll(a, imm & 63),
+        "SRLI": lambda a, b, imm: d.srl(a, imm & 63),
+        "SRAI": lambda a, b, imm: d.sra(a, imm & 63),
+        "SLTI": lambda a, b, imm: d.slt(a, c(imm)),
+        "ROTLI": lambda a, b, imm: d.rotl(a, imm & 63),
+        "ROTRI": lambda a, b, imm: d.rotr(a, imm & 63),
+        # Moves / unary / load-immediate.
+        "MOV": lambda a, b, imm: a,
+        "NOT": lambda a, b, imm: d.not_(a),
+        "LI": lambda a, b, imm: c(imm),
+    }
+
+
+def build_branch_table(d) -> dict:
+    """Branch-taken predicates over domain ``d``: ``{op: fn(a, b)}``."""
+    return {
+        "BEQ": d.eq,
+        "BNE": d.ne,
+        "BLT": d.lt,
+        "BGE": d.ge,
+        "BLTU": d.ltu,
+        "BGEU": d.geu,
+    }
+
+
+def build_effective_address(d):
+    """Load/store address computation over domain ``d``."""
+    c = d.const
+
+    def ea(base, imm):
+        return d.add(base, c(imm))
+
+    return ea
+
+
+_CONCRETE_ALU = build_alu_table(ConcreteDomain)
+_CONCRETE_BRANCH = build_branch_table(ConcreteDomain)
+
+
 def alu_result(inst: Instruction, a: int, b: int) -> int:
     """Result of an ALU / move / load-immediate instruction.
 
     ``a`` is the rs1 value, ``b`` the rs2 value (ignored by immediate forms).
     All values are 64-bit unsigned.
     """
-    op = inst.op
-    imm = inst.imm
-    if op == "ADD":
-        return (a + b) & WORD_MASK
-    if op == "SUB":
-        return (a - b) & WORD_MASK
-    if op == "AND":
-        return a & b
-    if op == "OR":
-        return a | b
-    if op == "XOR":
-        return a ^ b
-    if op == "SLL":
-        return (a << (b & 63)) & WORD_MASK
-    if op == "SRL":
-        return a >> (b & 63)
-    if op == "SRA":
-        return to_unsigned(to_signed(a) >> (b & 63))
-    if op == "SLT":
-        return 1 if to_signed(a) < to_signed(b) else 0
-    if op == "SLTU":
-        return 1 if a < b else 0
-    if op == "MUL":
-        return (a * b) & WORD_MASK
-    if op == "DIV":
-        if b == 0:
-            return WORD_MASK
-        return to_unsigned(int(to_signed(a) / to_signed(b)))
-    if op == "REM":
-        if b == 0:
-            return a
-        sa, sb = to_signed(a), to_signed(b)
-        return to_unsigned(sa - sb * int(sa / sb))
-    if op == "ADDI":
-        return (a + imm) & WORD_MASK
-    if op == "ANDI":
-        return a & (imm & WORD_MASK)
-    if op == "ORI":
-        return a | (imm & WORD_MASK)
-    if op == "XORI":
-        return a ^ (imm & WORD_MASK)
-    if op == "SLLI":
-        return (a << (imm & 63)) & WORD_MASK
-    if op == "SRLI":
-        return a >> (imm & 63)
-    if op == "SRAI":
-        return to_unsigned(to_signed(a) >> (imm & 63))
-    if op == "SLTI":
-        return 1 if to_signed(a) < to_signed(imm) else 0
-    if op == "ROTLI":
-        shift = imm & 63
-        return ((a << shift) | (a >> (64 - shift))) & WORD_MASK if shift else a
-    if op == "ROTRI":
-        shift = imm & 63
-        return ((a >> shift) | (a << (64 - shift))) & WORD_MASK if shift else a
-    if op == "MOV":
-        return a
-    if op == "NOT":
-        return a ^ WORD_MASK
-    if op == "LI":
-        return imm & WORD_MASK
-    raise ValueError(f"{op} is not an ALU instruction")
+    fn = _CONCRETE_ALU.get(inst.op)
+    if fn is None:
+        raise ValueError(f"{inst.op} is not an ALU instruction")
+    return fn(a, b, inst.imm)
 
 
 def branch_taken(inst: Instruction, a: int, b: int) -> bool:
     """Whether a conditional branch is taken given its operand values."""
-    op = inst.op
-    if op == "BEQ":
-        return a == b
-    if op == "BNE":
-        return a != b
-    if op == "BLT":
-        return to_signed(a) < to_signed(b)
-    if op == "BGE":
-        return to_signed(a) >= to_signed(b)
-    if op == "BLTU":
-        return a < b
-    if op == "BGEU":
-        return a >= b
-    raise ValueError(f"{op} is not a branch")
+    fn = _CONCRETE_BRANCH.get(inst.op)
+    if fn is None:
+        raise ValueError(f"{inst.op} is not a branch")
+    return fn(a, b)
 
 
 def effective_address(inst: Instruction, base: int) -> int:

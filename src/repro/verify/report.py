@@ -1,0 +1,87 @@
+"""Rendering and JSON serialisation for verification results."""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.verify.crosscheck import CrossCheckReport
+from repro.verify.selfcomp import CheckResult, LeakWitness
+
+
+def render_witness(witness: LeakWitness, indent: str = "    ") -> str:
+    lines = [
+        f"{indent}{witness.kind} at pc={witness.pc} "
+        f"({'transient, depth ' + str(witness.depth) if witness.speculative else 'architectural'})"
+        f" — secret bytes {list(witness.secret)}"
+        f"{'' if witness.confirmed else '  [UNCONFIRMED]'}",
+        f"{indent}  observed: {witness.expression}",
+    ]
+    if witness.confirmed:
+        lines.append(
+            f"{indent}  run A: secret {witness.secret_a} -> "
+            f"{witness.value_a:#x}  |  run B: secret {witness.secret_b} "
+            f"-> {witness.value_b:#x}")
+    return "\n".join(lines)
+
+
+def render_check(result: CheckResult, expected: Optional[str] = None) -> str:
+    """One target's verdict as a human-readable block."""
+    status = result.verdict.upper()
+    suffix = ""
+    if expected is not None:
+        suffix = "  [ok]" if result.verdict == expected else \
+            f"  [EXPECTED {expected.upper()}]"
+    lines = [
+        f"{result.program}: {status}{suffix}"
+        f"  (retired={result.stats.retired}"
+        f" transient={result.stats.explored}"
+        f" windows={result.stats.windows}"
+        f" spec_window={result.bounds['spec_window']}"
+        f" spec_depth={result.bounds['spec_depth']})"
+    ]
+    if not result.complete:
+        lines.append("    exploration incomplete — verdict is not a proof")
+    for witness in result.witnesses:
+        lines.append(render_witness(witness))
+    return "\n".join(lines)
+
+
+def render_crosscheck(report: CrossCheckReport) -> str:
+    counts = report.counts()
+    lines = [
+        f"cross-check: {len(report.records)} plans, "
+        + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        + f"  ({report.wall_seconds:.1f}s)"
+    ]
+    for record in report.disagreements:
+        lines.append(
+            f"  DISAGREEMENT seed={record.seed} profile={record.profile}: "
+            f"{record.classification} — symbolic={record.symbolic}, "
+            f"concrete {'diverged ' + str(list(record.channels)) if record.concrete_diverged else 'clean'}")
+        if record.detail:
+            lines.append(f"    {record.detail}")
+    if report.ok:
+        lines.append("  zero oracle disagreements")
+    return "\n".join(lines)
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def checks_to_json(results: list, expectations: Optional[dict] = None) -> dict:
+    """Aggregate JSON report for a batch of checks."""
+    expectations = expectations or {}
+    entries = []
+    for result in results:
+        entry = result.to_json()
+        expected = expectations.get(result.program)
+        if expected is not None:
+            entry["expected"] = expected
+            entry["as_expected"] = result.verdict == expected
+        entries.append(entry)
+    return {"checks": entries,
+            "ok": all(e.get("as_expected", True) for e in entries)}

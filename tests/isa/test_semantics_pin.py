@@ -1,0 +1,192 @@
+"""Regression pin for the pluggable-value-domain semantics refactor.
+
+``repro.isa.semantics`` used to evaluate each opcode with a hand-written
+if-chain; it now dispatches through a semantics table built over a value
+domain (so the symbolic checker can execute the same table).  This module
+keeps the *pre-refactor* implementation verbatim as the golden reference
+and asserts, opcode by opcode, that the table-driven concrete evaluation is
+bit-identical over an edge-case + seeded-random operand corpus.
+
+If an opcode's semantics ever needs to change intentionally, change the
+legacy copy here in the same commit — the diff then documents the semantic
+change explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import (BRANCH_OPS, OPCODES, WORD_MASK, Kind,
+                               to_signed, to_unsigned)
+from repro.isa.semantics import (ConcreteDomain, alu_result,
+                                 branch_taken, build_alu_table,
+                                 build_branch_table,
+                                 build_effective_address,
+                                 effective_address)
+
+
+# --------------------------------------------------------------- legacy copy
+def _legacy_alu_result(inst: Instruction, a: int, b: int) -> int:
+    """The pre-refactor if-chain, preserved verbatim (do not modernise)."""
+    op = inst.op
+    imm = inst.imm
+    if op == "ADD":
+        return (a + b) & WORD_MASK
+    if op == "SUB":
+        return (a - b) & WORD_MASK
+    if op == "AND":
+        return a & b
+    if op == "OR":
+        return a | b
+    if op == "XOR":
+        return a ^ b
+    if op == "SLL":
+        return (a << (b & 63)) & WORD_MASK
+    if op == "SRL":
+        return a >> (b & 63)
+    if op == "SRA":
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if op == "SLT":
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op == "SLTU":
+        return 1 if a < b else 0
+    if op == "MUL":
+        return (a * b) & WORD_MASK
+    if op == "DIV":
+        if b == 0:
+            return WORD_MASK
+        return to_unsigned(int(to_signed(a) / to_signed(b)))
+    if op == "REM":
+        if b == 0:
+            return a
+        sa, sb = to_signed(a), to_signed(b)
+        return to_unsigned(sa - sb * int(sa / sb))
+    if op == "ADDI":
+        return (a + imm) & WORD_MASK
+    if op == "ANDI":
+        return a & (imm & WORD_MASK)
+    if op == "ORI":
+        return a | (imm & WORD_MASK)
+    if op == "XORI":
+        return a ^ (imm & WORD_MASK)
+    if op == "SLLI":
+        return (a << (imm & 63)) & WORD_MASK
+    if op == "SRLI":
+        return a >> (imm & 63)
+    if op == "SRAI":
+        return to_unsigned(to_signed(a) >> (imm & 63))
+    if op == "SLTI":
+        return 1 if to_signed(a) < to_signed(imm) else 0
+    if op == "ROTLI":
+        shift = imm & 63
+        return ((a << shift) | (a >> (64 - shift))) & WORD_MASK if shift else a
+    if op == "ROTRI":
+        shift = imm & 63
+        return ((a >> shift) | (a << (64 - shift))) & WORD_MASK if shift else a
+    if op == "MOV":
+        return a
+    if op == "NOT":
+        return a ^ WORD_MASK
+    if op == "LI":
+        return imm & WORD_MASK
+    raise ValueError(f"{op} is not an ALU instruction")
+
+
+def _legacy_branch_taken(inst: Instruction, a: int, b: int) -> bool:
+    """The pre-refactor branch predicate chain, preserved verbatim."""
+    op = inst.op
+    if op == "BEQ":
+        return a == b
+    if op == "BNE":
+        return a != b
+    if op == "BLT":
+        return to_signed(a) < to_signed(b)
+    if op == "BGE":
+        return to_signed(a) >= to_signed(b)
+    if op == "BLTU":
+        return a < b
+    if op == "BGEU":
+        return a >= b
+    raise ValueError(f"{op} is not a branch")
+
+
+def _legacy_effective_address(inst: Instruction, base: int) -> int:
+    return (base + inst.imm) & WORD_MASK
+
+
+# ------------------------------------------------------------ operand corpus
+_EDGES = (0, 1, 2, 3, 63, 64, 0x7F, 0xFF, 0x8000000000000000,
+          0x7FFFFFFFFFFFFFFF, WORD_MASK, WORD_MASK - 1, 1 << 32,
+          (1 << 32) - 1, 0xDEADBEEF)
+
+
+def _operand_corpus(op: str) -> list:
+    """(a, b, imm) triples: all edge pairs plus seeded random values."""
+    rng = random.Random(f"semantics-pin:{op}")
+    values = list(_EDGES) + [rng.getrandbits(64) for _ in range(8)]
+    imms = [0, 1, 5, 63, -1, -8, 1 << 40, WORD_MASK,
+            rng.getrandbits(64), -rng.getrandbits(32)]
+    triples = []
+    for a in values:
+        for b in values[:8]:
+            triples.append((a, b, imms[(a + b) % len(imms)]))
+    for _ in range(64):
+        triples.append((rng.getrandbits(64), rng.getrandbits(64),
+                        rng.choice(imms)))
+    return triples
+
+
+_ALU_KINDS = (Kind.ALU, Kind.ALU_IMM, Kind.MOVE, Kind.LOAD_IMM)
+ALU_OPS = sorted(n for n, i in OPCODES.items() if i.kind in _ALU_KINDS)
+MEM_OPS = sorted(n for n, i in OPCODES.items()
+                 if i.kind in (Kind.LOAD, Kind.STORE))
+
+
+@pytest.mark.parametrize("op", ALU_OPS)
+def test_alu_opcode_bit_identical_to_legacy(op):
+    for a, b, imm in _operand_corpus(op):
+        inst = Instruction(op, rd=1, rs1=2, rs2=3, imm=imm)
+        assert alu_result(inst, a, b) == _legacy_alu_result(inst, a, b), (
+            f"{op} a={a:#x} b={b:#x} imm={imm}")
+
+
+@pytest.mark.parametrize("op", sorted(BRANCH_OPS))
+def test_branch_opcode_bit_identical_to_legacy(op):
+    for a, b, imm in _operand_corpus(op):
+        inst = Instruction(op, rs1=2, rs2=3, imm=0)
+        assert branch_taken(inst, a, b) == _legacy_branch_taken(inst, a, b), (
+            f"{op} a={a:#x} b={b:#x}")
+
+
+@pytest.mark.parametrize("op", MEM_OPS)
+def test_effective_address_bit_identical_to_legacy(op):
+    for a, _b, imm in _operand_corpus(op):
+        inst = Instruction(op, rd=1, rs1=2, rs2=3, imm=imm)
+        assert effective_address(inst, a) == \
+            _legacy_effective_address(inst, a)
+
+
+def test_alu_table_covers_exactly_the_alu_kinds():
+    table = build_alu_table(ConcreteDomain)
+    assert sorted(table) == ALU_OPS
+
+
+def test_branch_table_covers_exactly_the_branches():
+    table = build_branch_table(ConcreteDomain)
+    assert sorted(table) == sorted(BRANCH_OPS)
+
+
+def test_non_alu_op_still_raises_value_error():
+    with pytest.raises(ValueError):
+        alu_result(Instruction("BEQ", rs1=1, rs2=2, imm=0), 1, 2)
+    with pytest.raises(ValueError):
+        branch_taken(Instruction("ADD", rd=1, rs1=2, rs2=3), 1, 2)
+
+
+def test_effective_address_builder_matches_module_function():
+    ea = build_effective_address(ConcreteDomain)
+    inst = Instruction("LD", rd=1, rs1=2, imm=-16)
+    assert ea(0x1000, inst.imm) == effective_address(inst, 0x1000)

@@ -1,0 +1,49 @@
+"""Replay of the committed fuzz corpus through the symbolic checker.
+
+``tests/verify/data/corpus.jsonl`` is a real (small) campaign corpus
+committed to the repo: UnsafeBaseline and SPT cells for a spread of
+quick/default/hard seeds.  The nightly ``verify-corpus`` CI job replays
+it with ``repro verify crosscheck --corpus-dir``; this test keeps the
+same path working under plain pytest and pins the corpus's shape so a
+regenerated corpus that loses its UnsafeBaseline cells (the concrete
+verdicts the cross-check consumes) fails loudly instead of silently
+cross-checking against nothing.
+"""
+
+import os
+
+from repro.fuzz.corpus import Corpus
+from repro.verify.crosscheck import cross_check_corpus
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _corpus() -> Corpus:
+    corpus = Corpus(DATA_DIR)
+    assert corpus.records("seed"), "committed corpus is missing or empty"
+    return corpus
+
+
+def test_committed_corpus_has_concrete_verdicts():
+    corpus = _corpus()
+    replayable = corpus.replayable()
+    assert len(replayable) >= 20
+    profiles = {record["profile"] for record, _plan in replayable}
+    assert {"quick", "default", "hard"} <= profiles
+    for record, plan in replayable:
+        assert plan.seed == record["seed"]
+        configs = {cell["config"] for cell in record["cells"]}
+        assert "UnsafeBaseline" in configs
+
+
+def test_corpus_replay_has_zero_disagreements():
+    report = cross_check_corpus(_corpus())
+    assert report.records, "nothing replayed"
+    assert report.ok, [r.to_json() for r in report.disagreements]
+    # Budgeted exploration must still have decided every plan.
+    assert all(r.symbolic in ("safe", "leak") for r in report.records)
+
+
+def test_corpus_replay_respects_limit():
+    report = cross_check_corpus(_corpus(), limit=5)
+    assert len(report.records) == 5

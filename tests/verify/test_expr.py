@@ -1,0 +1,206 @@
+"""Property tests for the symbolic expression layer.
+
+The central contract: :class:`SymbolicDomain`'s *simplifying* constructors
+must agree with :class:`ConcreteDomain` under every assignment of the
+secret bytes.  We generate random straight-line dataflow (the same shape
+the explorer produces when it runs a program) and execute it twice — once
+through the symbolic constructors over variables, once through the
+concrete domain over the variables' sampled values — then check that
+``evaluate`` closes the square.  A second pass checks that every node's
+``(lo, hi)`` interval actually contains its concrete value, since the
+explorer uses those intervals to discharge branches and cache-line
+projections without a solver: an unsound interval would silently turn a
+real leak into a ``safe`` verdict.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import WORD_MASK
+from repro.isa.semantics import ConcreteDomain as C
+from repro.verify.expr import (Expr, SymbolicDomain as S, bounds, evaluate,
+                               rename, secret_bytes, size, var, variables)
+
+SET = "S"
+
+# (name, symbolic constructor, concrete reference) for 2-ary word ops.
+_BINARY = [
+    ("add", S.add, C.add), ("sub", S.sub, C.sub),
+    ("and", S.and_, C.and_), ("or", S.or_, C.or_), ("xor", S.xor, C.xor),
+    ("mul", S.mul, C.mul), ("div", S.div, C.div), ("rem", S.rem, C.rem),
+    ("sll", S.sll, C.sll), ("srl", S.srl, C.srl), ("sra", S.sra, C.sra),
+    ("slt", S.slt, C.slt), ("sltu", S.sltu, C.sltu),
+]
+_PREDICATES = [
+    ("eq", S.eq, lambda a, b: a == b), ("ne", S.ne, lambda a, b: a != b),
+    ("lt", S.lt, C.lt), ("ge", S.ge, C.ge),
+    ("ltu", S.ltu, C.ltu), ("geu", S.geu, C.geu),
+]
+
+# One build step of the random dataflow program: pick an operation and
+# operand slots (taken modulo the current worklist length).
+_step = st.tuples(
+    st.integers(min_value=0, max_value=len(_BINARY) + len(_PREDICATES) + 4),
+    st.integers(min_value=0, max_value=255),    # operand slot a
+    st.integers(min_value=0, max_value=255),    # operand slot b / extract idx
+    st.integers(min_value=0, max_value=63),     # rotate amount
+)
+
+_programs = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=255),
+             min_size=1, max_size=4),                       # secret bytes
+    st.lists(st.integers(min_value=0, max_value=WORD_MASK),
+             min_size=1, max_size=3),                       # constants
+    st.lists(_step, min_size=1, max_size=24),               # build steps
+)
+
+
+def _run(secrets, consts, steps):
+    """Build the dataflow twice; returns [(term, concrete value)]."""
+    env = {(SET, i): b for i, b in enumerate(secrets)}
+    work = [(var(SET, i), b) for i, b in enumerate(secrets)]
+    work += [(c, c) for c in consts]
+    n_pred = len(_PREDICATES)
+    for opcode, slot_a, slot_b, rot in steps:
+        term_a, val_a = work[slot_a % len(work)]
+        term_b, val_b = work[slot_b % len(work)]
+        if opcode < len(_BINARY):
+            _, sym, ref = _BINARY[opcode]
+            res, expect = sym(term_a, term_b), ref(val_a, val_b)
+        elif opcode < len(_BINARY) + n_pred:
+            _, sym, ref = _PREDICATES[opcode - len(_BINARY)]
+            res, expect = sym(term_a, term_b), ref(val_a, val_b)
+        else:
+            extra = opcode - len(_BINARY) - n_pred
+            if extra == 0:
+                res, expect = S.not_(term_a), C.not_(val_a)
+            elif extra == 1:
+                res, expect = S.rotl(term_a, rot), C.rotl(val_a, rot)
+            elif extra == 2:
+                res, expect = S.rotr(term_a, rot), C.rotr(val_a, rot)
+            elif extra == 3:
+                index = slot_b % 8
+                res = S.extract(term_a, index)
+                expect = (val_a >> (8 * index)) & 0xFF
+            else:
+                term_c, val_c = work[rot % len(work)]
+                res = S.ite(S.ne(term_a, term_b), term_c, term_a)
+                expect = val_c if val_a != val_b else val_a
+        if isinstance(expect, bool):
+            expect = int(expect)
+        if isinstance(res, bool):
+            res = int(res)
+        work.append((res, expect & WORD_MASK if not isinstance(expect, bool)
+                     else expect))
+    return env, work
+
+
+@settings(max_examples=300, deadline=None)
+@given(_programs)
+def test_simplifying_construction_preserves_semantics(program):
+    """evaluate(symbolic build, env) == the concrete computation."""
+    secrets, consts, steps = program
+    env, work = _run(secrets, consts, steps)
+    for term, expect in work:
+        assert evaluate(term, env) == expect
+
+
+@settings(max_examples=300, deadline=None)
+@given(_programs)
+def test_intervals_are_sound(program):
+    """Every node's unsigned interval contains its concrete value.
+
+    The explorer trusts these intervals to *prove* observations concrete
+    (``lo >> 6 == hi >> 6`` means the cache line cannot move), so interval
+    soundness is exactly checker soundness.
+    """
+    secrets, consts, steps = program
+    _, work = _run(secrets, consts, steps)
+    for term, expect in work:
+        lo, hi = bounds(term)
+        assert lo <= expect <= hi
+
+
+@settings(max_examples=200, deadline=None)
+@given(_programs)
+def test_variables_track_secret_provenance(program):
+    """variables() only ever names declared secret bytes; fully folded
+    terms (plain ints) name none."""
+    secrets, consts, steps = program
+    declared = {(SET, i) for i in range(len(secrets))}
+    _, work = _run(secrets, consts, steps)
+    for term, _ in work:
+        names = variables(term)
+        assert names <= declared
+        if isinstance(term, int):
+            assert not names
+        assert secret_bytes(term) == tuple(
+            sorted({i for _s, i in names}))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_programs)
+def test_rename_is_semantics_preserving(program):
+    """rename() moves every variable to a new set without changing the
+    function the term denotes — the heart of the self-composition."""
+    secrets, consts, steps = program
+    env, work = _run(secrets, consts, steps)
+    env_b = {("B", i): v for (_s, i), v in env.items()}
+    for term, expect in work:
+        renamed = rename(term, "B")
+        assert evaluate(renamed, env_b) == expect
+        assert {s for s, _i in variables(renamed)} <= {"B"}
+
+
+def test_structural_equality_and_hash():
+    a = S.add(var(SET, 0), 17)
+    b = S.add(var(SET, 0), 17)
+    assert a == b and hash(a) == hash(b)
+    assert a != S.add(var(SET, 0), 18)
+    assert a != S.add(var(SET, 1), 17)
+
+
+def test_folds_erase_the_secret():
+    """The identities the kernels lean on: these must fold to ints,
+    because a symbolic term reaching an observation point means 'leak'."""
+    s = var(SET, 0)
+    assert S.xor(s, s) == 0
+    assert S.sub(s, s) == 0
+    assert S.and_(s, 0) == 0
+    assert S.mul(s, 0) == 0
+    # A masked secret offset confined to one cache line: the line index
+    # is concrete, so the access is unobservable.
+    addr = S.add(0x400, S.and_(s, 0x3F))
+    assert S.srl(addr, 6) == 0x400 >> 6
+    # Unmasked, the byte spans four lines and the projection must stay
+    # symbolic — this asymmetry is the whole leak check.
+    assert isinstance(S.srl(S.add(0x400, s), 6), Expr)
+    # Masking a value that already fits is the identity.
+    assert S.and_(s, 0xFF) is s
+    # Interval-decided comparisons are Python bools, not 0/1 terms.
+    assert S.ltu(s, 0x100) is True
+    assert S.geu(s, 0x100) is False
+
+
+def test_extract_folds():
+    s = var(SET, 0)                 # bounded 0..255
+    assert S.extract(s, 0) is s     # identity: already one byte
+    assert S.extract(s, 3) == 0     # high bytes provably zero
+    word = S.sll(s, 8)
+    inner = S.extract(word, 1)
+    assert isinstance(inner, Expr)
+    assert evaluate(inner, {(SET, 0): 0xAB}) == 0xAB
+
+
+def test_deep_chains_do_not_recurse():
+    """A chain far past Python's recursion limit must still evaluate,
+    collect variables, and rename (all three walks are iterative)."""
+    term = var(SET, 0)
+    for i in range(5000):
+        term = S.add(S.xor(term, i & WORD_MASK), 1)
+    value = evaluate(term, {(SET, 0): 7})
+    assert 0 <= value <= WORD_MASK
+    assert variables(term) == frozenset({(SET, 0)})
+    renamed = rename(term, "B")
+    assert evaluate(renamed, {("B", 0): 7}) == value
+    assert size(renamed) == size(term)
